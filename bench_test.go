@@ -1,0 +1,560 @@
+package uldma_test
+
+// The benchmark harness regenerates every quantitative artifact in the
+// paper's evaluation:
+//
+//	BenchmarkTable1/*            Table 1  (DMA initiation time per method)
+//	BenchmarkComparators/*       the SHRIMP/FLASH/PAL comparators on the
+//	                             same model (not in Table 1)
+//	BenchmarkFigure5Attack       Figure 5 (3-access hijack) per schedule
+//	BenchmarkFigure6Attack       Figure 6 (4-access deception) per schedule
+//	BenchmarkFigure8Defense      Figure 8 (5-access survives the attack)
+//	BenchmarkNullSyscall         §2.2 lmbench empty-syscall claim (X1)
+//	BenchmarkBusSweep/*          §3.4 faster-bus projection (X4)
+//	BenchmarkAtomic/*            §3.5 user vs kernel atomic ops (X5)
+//	BenchmarkContention/*        §3.2 register-context supply ablation
+//	BenchmarkBarriers/*          §3.4 memory-barrier cost ablation (X3)
+//	BenchmarkEngineVariant/*     §3.2 register contexts vs pair-matching
+//	BenchmarkMsgChannel/*        msg library end-to-end throughput
+//	BenchmarkCollectives/*       barrier / all-reduce latency vs ranks
+//	BenchmarkNOWMessage/*        §1 motivating NOW message latency
+//
+// Every benchmark reports the SIMULATED time per operation as the
+// "sim-us/op" metric — that is the number comparable to the paper; the
+// ns/op column is merely how fast the host simulates.
+
+import (
+	"fmt"
+	"testing"
+
+	"uldma/internal/coll"
+	userdma "uldma/internal/core"
+	"uldma/internal/dma"
+	"uldma/internal/kernel"
+	"uldma/internal/machine"
+	"uldma/internal/msg"
+	"uldma/internal/net"
+	"uldma/internal/phys"
+	"uldma/internal/proc"
+	"uldma/internal/sim"
+	"uldma/internal/vm"
+)
+
+// benchInitiation runs b.N initiations of method on cfg and reports the
+// mean simulated initiation time.
+func benchInitiation(b *testing.B, method userdma.Method, cfg machine.Config) {
+	b.Helper()
+	res, err := userdma.MeasureMethod(method, cfg, b.N)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(res.Mean.Microseconds(), "sim-us/op")
+	if res.PaperMean != 0 {
+		b.ReportMetric(res.PaperMean.Microseconds(), "paper-us/op")
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1 row by row.
+func BenchmarkTable1(b *testing.B) {
+	for _, method := range userdma.Methods() {
+		method := method
+		b.Run(method.Name(), func(b *testing.B) {
+			benchInitiation(b, method, userdma.ConfigFor(method))
+		})
+	}
+}
+
+// BenchmarkComparators measures the prior-work schemes and the PAL
+// method on the same machine model.
+func BenchmarkComparators(b *testing.B) {
+	comparators := []userdma.Method{
+		userdma.PALCode{},
+		userdma.SHRIMP1{},
+		userdma.SHRIMP2{WithKernelMod: true},
+		userdma.FLASH{},
+	}
+	for _, method := range comparators {
+		method := method
+		b.Run(method.Name(), func(b *testing.B) {
+			benchInitiation(b, method, userdma.ConfigFor(method))
+		})
+	}
+}
+
+// BenchmarkFigure5Attack replays the Figure 5 hijack schedule.
+func BenchmarkFigure5Attack(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o, err := userdma.Figure5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !o.Hijacked {
+			b.Fatal("hijack did not reproduce")
+		}
+	}
+}
+
+// BenchmarkFigure6Attack replays the Figure 6 deception schedule.
+func BenchmarkFigure6Attack(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o, err := userdma.Figure6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !o.Misinformed || o.Hijacked {
+			b.Fatal("deception did not reproduce")
+		}
+	}
+}
+
+// BenchmarkFigure8Defense replays the attack schedule against the safe
+// 5-access sequence.
+func BenchmarkFigure8Defense(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o, err := userdma.Figure8Replay()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if o.Hijacked || o.Misinformed {
+			b.Fatalf("defense failed: %v", o)
+		}
+	}
+}
+
+// BenchmarkNullSyscall validates the §2.2 premise (X1): empty syscall in
+// 1,000-5,000 CPU cycles.
+func BenchmarkNullSyscall(b *testing.B) {
+	cfg := machine.Alpha3000TC(dma.ModePaired, 0)
+	m, err := machine.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var mean sim.Time
+	p := m.NewProcess("bench", func(c *proc.Context) error {
+		start := m.Clock.Now()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Syscall(kernel.SysNull); err != nil {
+				return err
+			}
+		}
+		mean = (m.Clock.Now() - start) / sim.Time(b.N)
+		return nil
+	})
+	if err := m.Run(proc.NewRoundRobin(1<<20), 1<<62); err != nil {
+		b.Fatal(err)
+	}
+	if p.Err() != nil {
+		b.Fatal(p.Err())
+	}
+	b.ReportMetric(mean.Microseconds(), "sim-us/op")
+	b.ReportMetric(float64(cfg.CPU.Freq.CyclesIn(mean)), "sim-cycles/op")
+}
+
+// BenchmarkBusSweep is experiment X4: Table 1 across bus generations.
+func BenchmarkBusSweep(b *testing.B) {
+	type busCase struct {
+		name string
+		freq sim.Hz
+	}
+	buses := []busCase{
+		{"TurboChannel-12.5MHz", 12_500_000},
+		{"PCI-33MHz", 33 * sim.MHz},
+		{"PCI-66MHz", 66 * sim.MHz},
+	}
+	for _, bus := range buses {
+		for _, method := range userdma.Methods() {
+			method := method
+			cfg := userdma.ConfigFor(method)
+			if bus.freq != 12_500_000 {
+				cfg = machine.PCI(method.EngineMode(), method.SeqLen(), bus.freq)
+			}
+			b.Run(bus.name+"/"+method.Name(), func(b *testing.B) {
+				benchInitiation(b, method, cfg)
+			})
+		}
+	}
+}
+
+// BenchmarkAtomic is experiment X5: user-level vs kernel-initiated
+// atomic operations.
+func BenchmarkAtomic(b *testing.B) {
+	run := func(b *testing.B, viaKernel bool) {
+		m := machine.MustNew(machine.Alpha3000TC(dma.ModeExtended, 0))
+		const cellVA = vm.VAddr(0x50000)
+		var mean sim.Time
+		p := m.NewProcess("bench", func(c *proc.Context) error {
+			if _, err := userdma.FetchAdd(c, cellVA, 0); err != nil { // warm TLB
+				return err
+			}
+			start := m.Clock.Now()
+			for i := 0; i < b.N; i++ {
+				var err error
+				if viaKernel {
+					_, err = userdma.KernelFetchAdd(c, cellVA, 1)
+				} else {
+					_, err = userdma.FetchAdd(c, cellVA, 1)
+				}
+				if err != nil {
+					return err
+				}
+			}
+			mean = (m.Clock.Now() - start) / sim.Time(b.N)
+			return nil
+		})
+		if _, err := m.Kernel.AllocPage(p.AddressSpace(), cellVA, vm.Read|vm.Write); err != nil {
+			b.Fatal(err)
+		}
+		if err := userdma.SetupAtomics(m, p, cellVA); err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Run(proc.NewRoundRobin(1<<20), 1<<62); err != nil {
+			b.Fatal(err)
+		}
+		if p.Err() != nil {
+			b.Fatal(p.Err())
+		}
+		b.ReportMetric(mean.Microseconds(), "sim-us/op")
+	}
+	b.Run("fetch_and_add/user-level", func(b *testing.B) { run(b, false) })
+	b.Run("fetch_and_add/via-kernel", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkContention ablates the register-context supply (§3.2): mean
+// initiation across processes when some must fall back to the kernel.
+func BenchmarkContention(b *testing.B) {
+	for _, procs := range []int{2, 4, 6, 8} {
+		procs := procs
+		b.Run(fmt.Sprintf("extended-4ctx/%dprocs", procs), func(b *testing.B) {
+			iters := b.N
+			if iters > 2000 {
+				iters = 2000
+			}
+			res, err := userdma.ContextContention(userdma.ExtShadow{}, procs, iters)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var total sim.Time
+			n := 0
+			fallbacks := 0
+			for _, r := range res {
+				total += r.Mean * sim.Time(r.Iterations)
+				n += r.Iterations
+				if r.PaperMean == 0 && len(r.Method) > len("Ext. Shadow Addressing") {
+					fallbacks++
+				}
+			}
+			b.ReportMetric(sim.Time(int64(total)/int64(n)).Microseconds(), "sim-us/op")
+			b.ReportMetric(float64(fallbacks), "kernel-fallbacks")
+		})
+	}
+}
+
+// BenchmarkBarriers is experiment X3's cost side: the 5-access sequence
+// with and without §3.4 memory barriers on the (device-ordered) preset
+// bus, quantifying what the barriers cost when the hardware does not
+// strictly need them.
+func BenchmarkBarriers(b *testing.B) {
+	for _, barriers := range []bool{true, false} {
+		barriers := barriers
+		name := "with-MB"
+		if !barriers {
+			name = "without-MB"
+		}
+		b.Run(name, func(b *testing.B) {
+			method := userdma.RepeatedPassing{Len: 5, Barriers: barriers}
+			benchInitiation(b, method, userdma.ConfigFor(method))
+		})
+	}
+}
+
+// BenchmarkEngineVariant compares the two §3.2 engine designs: register
+// contexts vs the cheaper pair-matching hardware (which pays retries
+// under interleaving but identical best-case instruction count).
+func BenchmarkEngineVariant(b *testing.B) {
+	variants := []userdma.Method{
+		userdma.ExtShadow{},
+		userdma.ExtShadow{NoContexts: true},
+	}
+	for _, method := range variants {
+		method := method
+		b.Run(method.Name(), func(b *testing.B) {
+			benchInitiation(b, method, userdma.ConfigFor(method))
+		})
+	}
+}
+
+// BenchmarkMsgChannel measures the msg library's end-to-end throughput:
+// messages streamed through a 2-node channel, everything user level.
+func BenchmarkMsgChannel(b *testing.B) {
+	for _, payload := range []int{64, 512} {
+		payload := payload
+		b.Run(fmt.Sprintf("payload-%dB", payload), func(b *testing.B) {
+			iters := b.N
+			if iters > 500 {
+				iters = 500
+			}
+			perMsg, err := msgStream(iters, payload)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(perMsg.Microseconds(), "sim-us/msg")
+		})
+	}
+}
+
+func msgStream(count, payload int) (sim.Time, error) {
+	method := userdma.ExtShadow{}
+	cluster, err := net.NewCluster(2, userdma.ConfigFor(method), net.Gigabit())
+	if err != nil {
+		return 0, err
+	}
+	n0, n1 := cluster.Nodes[0], cluster.Nodes[1]
+	var tx *msg.Sender
+	var rx *msg.Receiver
+	data := make([]byte, payload)
+	sender := n0.NewProcess("tx", func(c *proc.Context) error {
+		for i := 0; i < count; i++ {
+			if err := tx.Send(c, data); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	receiver := n1.NewProcess("rx", func(c *proc.Context) error {
+		buf := make([]byte, payload)
+		for i := 0; i < count; i++ {
+			if _, err := rx.Recv(c, buf); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	h, err := method.Attach(n0, sender)
+	if err != nil {
+		return 0, err
+	}
+	tx, rx, err = msg.NewChannel(n0, sender, h, n1, receiver, 1, msg.Config{})
+	if err != nil {
+		return 0, err
+	}
+	start := cluster.Clock.Now()
+	if err := cluster.RunRoundRobin(8, 1<<62); err != nil {
+		return 0, err
+	}
+	if sender.Err() != nil {
+		return 0, sender.Err()
+	}
+	if receiver.Err() != nil {
+		return 0, receiver.Err()
+	}
+	return (cluster.Clock.Now() - start) / sim.Time(count), nil
+}
+
+// BenchmarkCompletionWait compares the CPU cost of waiting for a large
+// DMA: user-level polling vs sleeping until the completion interrupt
+// (SysDMAWait). The sim-cpu-us metric is what the waiter burned.
+func BenchmarkCompletionWait(b *testing.B) {
+	run := func(b *testing.B, blocking bool) {
+		iters := b.N
+		if iters > 50 {
+			iters = 50
+		}
+		var totalCPU sim.Time
+		for i := 0; i < iters; i++ {
+			method := userdma.ExtShadow{}
+			m := userdma.Machine(method)
+			var h *userdma.Handle
+			p := m.NewProcess("waiter", func(c *proc.Context) error {
+				st, err := h.DMA(c, 0x100000, 0x200000, 65536)
+				if err != nil {
+					return err
+				}
+				if st == dma.StatusFailure {
+					return fmt.Errorf("refused")
+				}
+				if blocking {
+					return h.WaitBlocking(c)
+				}
+				return h.Wait(c, 1_000_000)
+			})
+			var err error
+			if h, err = method.Attach(m, p); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := m.SetupPages(p, 0x100000, 8, vm.Read|vm.Write); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := m.SetupPages(p, 0x200000, 8, vm.Read|vm.Write); err != nil {
+				b.Fatal(err)
+			}
+			if err := m.Run(proc.NewRoundRobin(1<<20), 1<<62); err != nil {
+				b.Fatal(err)
+			}
+			if p.Err() != nil {
+				b.Fatal(p.Err())
+			}
+			totalCPU += p.CPUTime()
+		}
+		b.ReportMetric((totalCPU / sim.Time(iters)).Microseconds(), "sim-cpu-us/wait")
+	}
+	b.Run("polling", func(b *testing.B) { run(b, false) })
+	b.Run("blocking", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkCollectives measures barrier and all-reduce latency on the
+// coll library (user-level remote atomics + remote writes) across
+// cluster sizes.
+func BenchmarkCollectives(b *testing.B) {
+	for _, ranks := range []int{2, 4, 8} {
+		for _, op := range []string{"barrier", "allreduce"} {
+			ranks, op := ranks, op
+			b.Run(fmt.Sprintf("%s/%dranks", op, ranks), func(b *testing.B) {
+				iters := b.N
+				if iters > 200 {
+					iters = 200
+				}
+				perOp, err := collectiveLatency(ranks, op, iters)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(perOp.Microseconds(), "sim-us/op")
+			})
+		}
+	}
+}
+
+func collectiveLatency(ranks int, op string, iters int) (sim.Time, error) {
+	cluster, err := net.NewCluster(ranks, userdma.ConfigFor(userdma.ExtShadow{}), net.Gigabit())
+	if err != nil {
+		return 0, err
+	}
+	var comms []*coll.Comm
+	procs := make([]*proc.Process, ranks)
+	for i := 0; i < ranks; i++ {
+		i := i
+		procs[i] = cluster.Nodes[i].NewProcess(fmt.Sprintf("r%d", i), func(c *proc.Context) error {
+			for k := 0; k < iters; k++ {
+				switch op {
+				case "barrier":
+					if err := comms[i].Barrier(c); err != nil {
+						return err
+					}
+				default:
+					if _, err := comms[i].AllReduceSum(c, 1); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+	}
+	if comms, err = coll.New(cluster, procs); err != nil {
+		return 0, err
+	}
+	start := cluster.Clock.Now()
+	if err := cluster.RunRoundRobin(4, 1<<62); err != nil {
+		return 0, err
+	}
+	for _, p := range procs {
+		if p.Err() != nil {
+			return 0, p.Err()
+		}
+	}
+	return (cluster.Clock.Now() - start) / sim.Time(iters), nil
+}
+
+// BenchmarkNOWMessage measures one-way NOW message latency (payload DMA
+// + doorbell + receiver poll) per initiation method — the §1 motivating
+// workload.
+func BenchmarkNOWMessage(b *testing.B) {
+	methods := []userdma.Method{userdma.KernelLevel{}, userdma.ExtShadow{}}
+	for _, method := range methods {
+		method := method
+		b.Run(method.Name(), func(b *testing.B) {
+			var total sim.Time
+			iters := b.N
+			if iters > 200 {
+				iters = 200 // each iteration builds a 2-node cluster
+			}
+			for i := 0; i < iters; i++ {
+				lat, err := nowMessageOnce(method)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += lat
+			}
+			b.ReportMetric((total / sim.Time(iters)).Microseconds(), "sim-us/msg")
+		})
+	}
+}
+
+func nowMessageOnce(method userdma.Method) (sim.Time, error) {
+	cluster, err := net.NewCluster(2, userdma.ConfigFor(method), net.Gigabit())
+	if err != nil {
+		return 0, err
+	}
+	n0, n1 := cluster.Nodes[0], cluster.Nodes[1]
+	const (
+		srcVA   = vm.VAddr(0x10000)
+		remVA   = vm.VAddr(0x20000)
+		boxVA   = vm.VAddr(0x30000)
+		mailbox = phys.Addr(0x80000)
+		bell    = 8184
+	)
+	var h *userdma.Handle
+	var arrival sim.Time
+	sender := n0.NewProcess("s", func(c *proc.Context) error {
+		st, err := h.DMA(c, srcVA, remVA, 512)
+		if err != nil {
+			return err
+		}
+		if st == dma.StatusFailure {
+			return fmt.Errorf("refused")
+		}
+		if err := h.Wait(c, 1_000_000); err != nil {
+			return err
+		}
+		if err := c.Store(remVA+bell, phys.Size64, 1); err != nil {
+			return err
+		}
+		return c.MB()
+	})
+	receiver := n1.NewProcess("r", func(c *proc.Context) error {
+		for {
+			v, err := c.Load(boxVA+bell, phys.Size64)
+			if err != nil {
+				return err
+			}
+			if v != 0 {
+				arrival = n1.Clock.Now()
+				return nil
+			}
+			c.Spin(500)
+		}
+	})
+	if h, err = method.Attach(n0, sender); err != nil {
+		return 0, err
+	}
+	if _, err := n0.SetupPages(sender, srcVA, 1, vm.Read|vm.Write); err != nil {
+		return 0, err
+	}
+	if err := n0.Kernel.MapRemote(sender, remVA, 1, mailbox); err != nil {
+		return 0, err
+	}
+	if err := n0.Kernel.MapShadow(sender, remVA); err != nil {
+		return 0, err
+	}
+	if err := n1.Kernel.MapFrame(receiver.AddressSpace(), boxVA, mailbox, vm.Read); err != nil {
+		return 0, err
+	}
+	if err := cluster.RunRoundRobin(8, 1<<62); err != nil {
+		return 0, err
+	}
+	if sender.Err() != nil {
+		return 0, sender.Err()
+	}
+	if receiver.Err() != nil {
+		return 0, receiver.Err()
+	}
+	return arrival, nil
+}

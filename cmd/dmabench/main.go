@@ -1,0 +1,241 @@
+// Command dmabench regenerates the paper's Table 1 — "Comparison of DMA
+// initiation algorithms" — on the calibrated Alpha 3000/300 +
+// TurboChannel machine model, and optionally the bus-frequency sweep
+// (experiment X4) and the register-context contention study.
+//
+// Usage:
+//
+//	dmabench [-iters N] [-sweep] [-contention] [-comparators]
+//
+// The default -iters 1000 matches the paper's measurement loop.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	userdma "uldma/internal/core"
+	"uldma/internal/machine"
+	"uldma/internal/proc"
+	"uldma/internal/sim"
+	"uldma/internal/stats"
+	"uldma/internal/trace"
+	"uldma/internal/vm"
+)
+
+func main() {
+	iters := flag.Int("iters", 1000, "DMA initiations per method (paper: 1000)")
+	sweep := flag.Bool("sweep", false, "also run the bus-frequency sweep (X4)")
+	contention := flag.Bool("contention", false, "also run the register-context contention study")
+	comparators := flag.Bool("comparators", false, "also measure the comparator methods (SHRIMP, FLASH, PAL)")
+	breakeven := flag.Bool("breakeven", false, "also run the initiation-vs-transfer break-even sweep (X6)")
+	traceFlag := flag.Bool("trace", false, "show the bus transactions of one initiation per method")
+	trend := flag.Bool("trend", false, "also run the hardware-generation trend sweep (X7)")
+	flag.Parse()
+
+	if *trend {
+		if err := runTrend(*iters); err != nil {
+			fmt.Fprintln(os.Stderr, "dmabench:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *traceFlag {
+		if err := runTrace(); err != nil {
+			fmt.Fprintln(os.Stderr, "dmabench:", err)
+			os.Exit(1)
+		}
+	}
+	if err := run(*iters, *sweep, *contention, *comparators, *breakeven); err != nil {
+		fmt.Fprintln(os.Stderr, "dmabench:", err)
+		os.Exit(1)
+	}
+}
+
+// runTrend prints experiment X7: the hardware-generation trend behind
+// the paper's motivation.
+func runTrend(iters int) error {
+	fmt.Println("Hardware-generation trend (X7) — the motivating §1/§2.2 argument")
+	pts, err := userdma.TrendSweep(iters)
+	if err != nil {
+		return err
+	}
+	tb := stats.NewTable("era", "kernel init", "ext-shadow init", "ratio", "kernel break-even")
+	for _, pt := range pts {
+		tb.AddRow(pt.Era, pt.KernelInit, pt.UserInit,
+			stats.Ratio(pt.KernelInit, pt.UserInit),
+			fmt.Sprintf("%dB", pt.KernelCrossover))
+	}
+	fmt.Println(tb)
+	fmt.Println("Processors and buses speed up; the trap's cycle count grows — so the")
+	fmt.Println("kernel path's break-even keeps receding while user-level initiation")
+	fmt.Println("rides the hardware. Exactly the trend the paper opens with.")
+	fmt.Println()
+	return nil
+}
+
+// runTrace records and prints the wire-level view of one initiation per
+// Table 1 method: what the engine actually saw, in order, with window
+// annotations.
+func runTrace() error {
+	for _, method := range userdma.AllMethods() {
+		m := userdma.Machine(method)
+		rec := trace.New(m.Clock, 64)
+		rec.AnnotateEngine(m.Engine.Config())
+
+		var h *userdma.Handle
+		p := m.NewProcess("traced", func(c *proc.Context) error {
+			rec.AttachBus(m.Bus)
+			_, err := h.DMA(c, 0x10000, 0x20000, 64)
+			rec.DetachBus(m.Bus)
+			return err
+		})
+		var err error
+		if h, err = method.Attach(m, p); err != nil {
+			return err
+		}
+		if _, err := m.SetupPages(p, 0x10000, 1, vm.Read|vm.Write); err != nil {
+			return err
+		}
+		dstFrames, err := m.SetupPages(p, 0x20000, 1, vm.Read|vm.Write)
+		if err != nil {
+			return err
+		}
+		if s1, ok := method.(userdma.SHRIMP1); ok {
+			if err := s1.MapOutPage(m, p, 0x10000, dstFrames[0]); err != nil {
+				return err
+			}
+		}
+		if err := m.Run(proc.NewRoundRobin(64), 100_000); err != nil {
+			return err
+		}
+		if p.Err() != nil {
+			return fmt.Errorf("%s: %w", method.Name(), p.Err())
+		}
+		fmt.Printf("%s — bus transactions of one DMA(src, dst, 64):\n", method.Name())
+		out := rec.Render()
+		if out == "" {
+			out = "  (no bus traffic: the initiation ran inside the kernel/PAL call below)\n"
+		}
+		fmt.Print(out)
+		fmt.Println()
+	}
+	return nil
+}
+
+func run(iters int, sweep, contention, comparators, breakeven bool) error {
+	infos, err := userdma.Overview()
+	if err != nil {
+		return err
+	}
+	ov := stats.NewTable("method", "engine mode", "user accesses", "instructions", "kernel mod?", "user poll?")
+	for _, i := range infos {
+		accesses := "-"
+		if i.UserAccesses > 0 {
+			accesses = fmt.Sprintf("%d", i.UserAccesses)
+		}
+		ov.AddRow(i.Name, i.EngineMode, accesses, i.Instructions, i.KernelMod, i.Polls)
+	}
+	fmt.Println("Initiation methods")
+	fmt.Println(ov)
+
+	fmt.Printf("Table 1 — DMA initiation time (%d initiations/method)\n", iters)
+	fmt.Printf("machine: %s\n\n", machine.Alpha3000TC(0, 0).Name)
+
+	results, err := userdma.Table1(iters)
+	if err != nil {
+		return err
+	}
+	tb := stats.NewTable("DMA algorithm", "paper (µs)", "measured (µs)", "delta", "min", "max")
+	for _, r := range results {
+		tb.AddRow(r.Method,
+			fmt.Sprintf("%.1f", r.PaperMean.Microseconds()),
+			fmt.Sprintf("%.2f", r.Mean.Microseconds()),
+			stats.DeltaPercent(r.Mean, r.PaperMean),
+			r.Min, r.Max)
+	}
+	fmt.Println(tb)
+
+	if comparators {
+		fmt.Println("Comparators (not in Table 1; measured on the same model)")
+		tb := stats.NewTable("method", "measured (µs)", "kernel mod?")
+		for _, m := range []userdma.Method{
+			userdma.PALCode{}, userdma.SHRIMP1{},
+			userdma.SHRIMP2{WithKernelMod: true}, userdma.FLASH{},
+		} {
+			cfg := machine.Alpha3000TC(m.EngineMode(), m.SeqLen())
+			r, err := userdma.MeasureMethod(m, cfg, iters)
+			if err != nil {
+				return err
+			}
+			tb.AddRow(m.Name(), fmt.Sprintf("%.2f", r.Mean.Microseconds()), m.RequiresKernelMod())
+		}
+		fmt.Println(tb)
+	}
+
+	if sweep {
+		freqs := []sim.Hz{12_500_000, 33 * sim.MHz, 66 * sim.MHz}
+		fmt.Println("Bus-frequency sweep (X4) — mean initiation (µs)")
+		res, err := userdma.BusSweep(iters, freqs)
+		if err != nil {
+			return err
+		}
+		tb := stats.NewTable("DMA algorithm", "TC 12.5MHz", "PCI 33MHz", "PCI 66MHz")
+		for i, r := range res[freqs[0]] {
+			tb.AddRow(r.Method,
+				fmt.Sprintf("%.2f", r.Mean.Microseconds()),
+				fmt.Sprintf("%.2f", res[freqs[1]][i].Mean.Microseconds()),
+				fmt.Sprintf("%.2f", res[freqs[2]][i].Mean.Microseconds()))
+		}
+		fmt.Println(tb)
+	}
+
+	if breakeven {
+		fmt.Println("Break-even sweep (X6) — initiation share of total DMA cost")
+		tb := stats.NewTable(append([]string{"DMA algorithm"}, sizesHeader()...)...)
+		for _, m := range []userdma.Method{userdma.KernelLevel{}, userdma.ExtShadow{}} {
+			pts, err := userdma.BreakEven(m, userdma.DefaultSizes)
+			if err != nil {
+				return err
+			}
+			row := []any{m.Name()}
+			for _, pt := range pts {
+				row = append(row, fmt.Sprintf("%.0f%%", 100*pt.InitShare))
+			}
+			tb.AddRow(row...)
+			if size, ok := userdma.Crossover(pts); ok {
+				fmt.Printf("%-26s transfer outweighs initiation from %d bytes\n", m.Name()+":", size)
+			}
+		}
+		fmt.Println()
+		fmt.Println(tb)
+	}
+
+	if contention {
+		fmt.Println("Register-context contention — 6 processes, 4 extended-shadow contexts")
+		res, err := userdma.ContextContention(userdma.ExtShadow{}, 6, iters/10+1)
+		if err != nil {
+			return err
+		}
+		tb := stats.NewTable("process path", "mean (µs)")
+		for _, r := range res {
+			tb.AddRow(r.Method, fmt.Sprintf("%.2f", r.Mean.Microseconds()))
+		}
+		fmt.Println(tb)
+	}
+	return nil
+}
+
+// sizesHeader renders the break-even sweep's size columns.
+func sizesHeader() []string {
+	out := make([]string, 0, len(userdma.DefaultSizes))
+	for _, s := range userdma.DefaultSizes {
+		if s >= 1024 {
+			out = append(out, fmt.Sprintf("%dKiB", s/1024))
+		} else {
+			out = append(out, fmt.Sprintf("%dB", s))
+		}
+	}
+	return out
+}

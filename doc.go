@@ -1,0 +1,27 @@
+// Package uldma is a full-system reproduction of Markatos & Katevenis,
+// "User-Level DMA without Operating System Kernel Modification"
+// (HPCA-3, 1997).
+//
+// The repository contains a deterministic, cycle-cost-accurate model of
+// the paper's testbed — a DEC Alpha 3000/300 workstation with a
+// Telegraphos-style network interface on a 12.5 MHz TurboChannel bus —
+// and, on top of it, every DMA initiation scheme the paper describes:
+// the kernel baseline, the SHRIMP and FLASH comparators, the PAL-code
+// method, key-based DMA, extended shadow addressing, and repeated
+// passing of arguments, plus the user-level atomic operations of §3.5.
+//
+// Layout:
+//
+//	internal/sim, phys, bus, vm, isa, cpu  hardware substrates
+//	internal/proc, kernel                  processes + operating system
+//	internal/dma, net                      the NIC's DMA engine + cluster fabric
+//	internal/machine                       composition + calibrated presets
+//	internal/core  (package userdma)       the paper's contribution
+//	cmd/dmabench, attacksim, oslat,
+//	cmd/clustersim                         experiment binaries
+//	examples/...                           runnable walkthroughs
+//
+// bench_test.go in this directory regenerates the paper's Table 1 and
+// the figure studies under `go test -bench`. See DESIGN.md for the
+// system inventory and EXPERIMENTS.md for paper-vs-measured results.
+package uldma

@@ -1,0 +1,87 @@
+// attacks: the paper's adversarial studies as a runnable narrative.
+//
+// Section 3.3 develops the "repeated passing of arguments" method by
+// showing two broken designs first. This example walks through all
+// three, printing what the engine actually did in each case:
+//
+//  1. Figure 5 — the 3-access variant lets a malicious process inject
+//     its own data into the victim's private page.
+//  2. Figure 6 — the 4-access variant lets an attacker steal the
+//     initiation and misinform the victim.
+//  3. Figure 8 — the 5-access variant survives the same schedules, an
+//     exhaustive interleaving search, and a random adversarial
+//     campaign.
+//
+// Run with: go run ./examples/attacks
+package main
+
+import (
+	"fmt"
+	"log"
+
+	userdma "uldma/internal/core"
+)
+
+func main() {
+	fmt.Println("== Act 1: the 3-access sequence (Figure 5) ==")
+	fmt.Println("victim:   LOAD shadow(A); STORE size->shadow(B); LOAD shadow(A)")
+	fmt.Println("attacker: accesses ONLY its own pages FOO and C")
+	o5, err := userdma.Figure5()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("engine started:  %v\n", o5.Transfers)
+	fmt.Printf("victim's view:   success=%v\n", o5.VictimBelievesSuccess)
+	fmt.Printf("verdict:         hijacked=%v — attacker data now sits in the victim's page B\n\n",
+		o5.Hijacked)
+
+	fmt.Println("== Act 2: the 4-access sequence (Figure 6) ==")
+	fmt.Println("victim:   STORE, LOAD, STORE, LOAD over (B, A)")
+	fmt.Println("attacker: one read of shadow(A) — A is public, read access is legal")
+	o6, err := userdma.Figure6()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("engine started:  %v (the data is even correct!)\n", o6.Transfers)
+	fmt.Printf("attacker's load: status=%#x — the attacker consumed the initiation\n", o6.AttackerStatus)
+	fmt.Printf("victim's view:   success=%v — told FAILURE for a DMA that ran\n", o6.VictimBelievesSuccess)
+	fmt.Printf("verdict:         misinformed=%v\n\n", o6.Misinformed)
+
+	fmt.Println("== Act 3: the 5-access sequence (Figures 7 & 8) ==")
+	fmt.Println("victim:   STORE, LOAD, STORE, LOAD, LOAD with retries (Figure 7)")
+	o8, err := userdma.Figure8Replay()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("same attack schedule: %v\n", o8)
+
+	tried, hijack, err := userdma.ExhaustiveInterleavings(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if hijack != nil {
+		log.Fatalf("UNEXPECTED hijack: %v", *hijack)
+	}
+	fmt.Printf("exhaustive search:    %d interleavings, zero hijacks\n", tried)
+
+	hijacks, deceptions := 0, 0
+	const campaigns = 30
+	for seed := uint64(1); seed <= campaigns; seed++ {
+		o, err := userdma.RandomAdversarialRun(seed, false, false)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if o.Hijacked {
+			hijacks++
+		}
+		if o.Misinformed {
+			deceptions++
+		}
+	}
+	fmt.Printf("random campaigns:     %d runs — %d hijacks, %d status deceptions\n",
+		campaigns, hijacks, deceptions)
+	fmt.Println()
+	fmt.Println("Conclusion: the 5-access engine never moves data it should not (§3.3.1's")
+	fmt.Println("proof holds under exhaustive search), though a sufficiently noisy attacker")
+	fmt.Println("can still make the in-band status word lie — poll out of band when it matters.")
+}

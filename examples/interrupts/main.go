@@ -1,0 +1,88 @@
+// interrupts: the poll-vs-interrupt trade, demonstrated.
+//
+// A "transfer" process moves 64 KiB by user-level DMA (about 1.3 ms on
+// the wire) and then waits for completion twice — first by user-level
+// polling, then by sleeping in the kernel until the completion
+// interrupt (SysDMAWait) — while a "compute" process wants the CPU.
+// The per-process CPU accounting shows who actually got the machine.
+//
+// Run with: go run ./examples/interrupts
+package main
+
+import (
+	"fmt"
+	"log"
+
+	userdma "uldma/internal/core"
+	"uldma/internal/proc"
+	"uldma/internal/sim"
+	"uldma/internal/vm"
+)
+
+const (
+	srcVA = vm.VAddr(0x100000)
+	dstVA = vm.VAddr(0x200000)
+	size  = 65536
+)
+
+func main() {
+	for _, blocking := range []bool{false, true} {
+		waiterCPU, computeCPU, wall, err := run(blocking)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mode := "polling (user-level status reads)"
+		if blocking {
+			mode = "blocking (sleep until completion interrupt)"
+		}
+		fmt.Printf("%s\n", mode)
+		fmt.Printf("  waiter CPU: %-12v compute CPU: %-12v wall: %v\n\n",
+			waiterCPU, computeCPU, wall)
+	}
+	fmt.Println("Same transfer, same wall clock — blocking hands the dead time to the")
+	fmt.Println("compute process at the price of one trap. Polling keeps everything in")
+	fmt.Println("user space but burns the CPU for the whole transfer.")
+}
+
+func run(blocking bool) (waiterCPU, computeCPU, wall sim.Time, err error) {
+	method := userdma.ExtShadow{}
+	m := userdma.Machine(method)
+	var h *userdma.Handle
+	waiter := m.NewProcess("waiter", func(c *proc.Context) error {
+		st, err := h.DMA(c, srcVA, dstVA, size)
+		if err != nil {
+			return err
+		}
+		if st == userdma.StatusFailure {
+			return fmt.Errorf("initiation refused")
+		}
+		if blocking {
+			return h.WaitBlocking(c)
+		}
+		return h.Wait(c, 1_000_000)
+	})
+	compute := m.NewProcess("compute", func(c *proc.Context) error {
+		for i := 0; i < 400; i++ {
+			c.Spin(500) // ~3.3 µs of work per slot
+		}
+		return nil
+	})
+	if h, err = method.Attach(m, waiter); err != nil {
+		return 0, 0, 0, err
+	}
+	if _, err = m.SetupPages(waiter, srcVA, 8, vm.Read|vm.Write); err != nil {
+		return 0, 0, 0, err
+	}
+	if _, err = m.SetupPages(waiter, dstVA, 8, vm.Read|vm.Write); err != nil {
+		return 0, 0, 0, err
+	}
+	if err = m.Run(proc.NewRoundRobin(8), 1<<62); err != nil {
+		return 0, 0, 0, err
+	}
+	for _, p := range m.Runner.Processes() {
+		if p.Err() != nil {
+			return 0, 0, 0, fmt.Errorf("%s: %w", p.Name(), p.Err())
+		}
+	}
+	return waiter.CPUTime(), compute.CPUTime(), m.Clock.Now(), nil
+}

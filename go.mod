@@ -1,0 +1,3 @@
+module uldma
+
+go 1.22

@@ -1,0 +1,114 @@
+package userdma
+
+import (
+	"fmt"
+
+	"uldma/internal/dma"
+	"uldma/internal/kernel"
+	"uldma/internal/machine"
+	"uldma/internal/phys"
+	"uldma/internal/proc"
+	"uldma/internal/vm"
+)
+
+// User-level atomic operations (§3.5). NOW shared-memory interfaces
+// provide atomic_add / fetch_and_store / compare_and_swap in the
+// network interface; initiating them through the kernel would cost more
+// than the operation itself. Here each operation is a single locked bus
+// transaction into the engine's atomic window: the operation code is
+// encoded in the (kernel-installed) mapping's physical address, the
+// operand rides in the data, and the old value returns in the reply —
+// protection by mapping, atomicity by bus lock, zero kernel crossings.
+
+// SetupAtomics creates the atomic-window aliases for the page holding
+// va in p's address space (kernel setup-time work; needs read+write on
+// the page).
+func SetupAtomics(m *machine.Machine, p *proc.Process, va vm.VAddr) error {
+	return m.Kernel.MapAtomic(p, va)
+}
+
+// FetchAdd atomically adds delta to the 64-bit cell at va and returns
+// the previous value.
+func FetchAdd(c *proc.Context, va vm.VAddr, delta uint64) (uint64, error) {
+	return c.Swap(kernel.AtomicVA(va, dma.AtomicAdd), phys.Size64, delta)
+}
+
+// FetchStore atomically replaces the 64-bit cell at va with val and
+// returns the previous value.
+func FetchStore(c *proc.Context, va vm.VAddr, val uint64) (uint64, error) {
+	return c.Swap(kernel.AtomicVA(va, dma.AtomicSwap), phys.Size64, val)
+}
+
+// CompareSwap atomically replaces the 32-bit cell at va with newVal if
+// it currently holds expected. It returns the previous value and
+// whether the swap took effect.
+func CompareSwap(c *proc.Context, va vm.VAddr, expected, newVal uint32) (uint32, bool, error) {
+	packed := uint64(expected)<<32 | uint64(newVal)
+	old, err := c.Swap(kernel.AtomicVA(va, dma.AtomicCAS), phys.Size32, packed)
+	if err != nil {
+		return 0, false, err
+	}
+	return uint32(old), uint32(old) == expected, nil
+}
+
+// KernelFetchAdd is the syscall baseline the user-level path replaces:
+// the same engine operation reached through a trap (§3.5's "significant
+// overhead" case). Benchmarked against FetchAdd in experiment X5.
+func KernelFetchAdd(c *proc.Context, va vm.VAddr, delta uint64) (uint64, error) {
+	return c.Syscall(kernel.SysAtomic, uint64(dma.AtomicAdd), uint64(va), delta)
+}
+
+// SpinLock is a user-level mutual-exclusion lock built on CompareSwap —
+// the canonical consumer of NOW atomic operations. The lock word is a
+// 32-bit cell on a page set up with SetupAtomics (possibly on a remote
+// node's shared segment).
+type SpinLock struct {
+	// VA is the lock word's virtual address.
+	VA vm.VAddr
+	// BackoffCycles is the spin cost charged between attempts.
+	BackoffCycles int64
+	// MaxAttempts bounds acquisition (0 = 4096).
+	MaxAttempts int
+}
+
+// Lock acquires the lock, spinning with backoff.
+func (l *SpinLock) Lock(c *proc.Context) error {
+	max := l.MaxAttempts
+	if max == 0 {
+		max = 4096
+	}
+	backoff := l.BackoffCycles
+	if backoff == 0 {
+		backoff = 100
+	}
+	for i := 0; i < max; i++ {
+		_, ok, err := CompareSwap(c, l.VA, 0, 1)
+		if err != nil {
+			return err
+		}
+		if ok {
+			return nil
+		}
+		c.Spin(backoff)
+	}
+	return fmt.Errorf("userdma: spinlock at %v not acquired after %d attempts", l.VA, max)
+}
+
+// Unlock releases the lock. Calling Unlock without holding the lock is
+// a programming error surfaced as an error.
+func (l *SpinLock) Unlock(c *proc.Context) error {
+	old, err := FetchStore32(c, l.VA, 0)
+	if err != nil {
+		return err
+	}
+	if old != 1 {
+		return fmt.Errorf("userdma: unlock of lock at %v in state %d", l.VA, old)
+	}
+	return nil
+}
+
+// FetchStore32 is FetchStore on a 32-bit cell (lock words).
+func FetchStore32(c *proc.Context, va vm.VAddr, val uint32) (uint32, error) {
+	old, err := c.Swap(kernel.AtomicVA(va, dma.AtomicSwap), phys.Size32, uint64(val))
+	return uint32(old), err
+}

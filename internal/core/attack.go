@@ -1,0 +1,524 @@
+package userdma
+
+import (
+	"fmt"
+
+	"uldma/internal/dma"
+	"uldma/internal/isa"
+	"uldma/internal/machine"
+	"uldma/internal/phys"
+	"uldma/internal/proc"
+	"uldma/internal/sim"
+	"uldma/internal/vm"
+)
+
+// The attack studies reproduce the paper's adversarial interleavings
+// (Figures 5, 6 and 8) as full-system scenarios: a victim process
+// performing a legitimate DMA A→B and a malicious process interleaving
+// its own — individually legal — shadow accesses under a scripted
+// scheduler.
+//
+// Fixed scenario layout: the victim owns pages A (source) and B
+// (private destination); the attacker owns pages C and FOO. In the
+// Figure 6 scenario the attacker is additionally given READ access to A
+// ("the data contained in vsource ... can be read by any process").
+
+// Scenario virtual addresses (same in both processes for readability).
+const (
+	vaA   = vm.VAddr(0x10000)
+	vaB   = vm.VAddr(0x20000)
+	vaC   = vm.VAddr(0x30000)
+	vaFoo = vm.VAddr(0x40000)
+)
+
+// Scenario byte patterns.
+const (
+	fillA = 0x11 // victim's data
+	fillC = 0x66 // attacker's data
+)
+
+// AttackOutcome is the ground truth of one adversarial run.
+type AttackOutcome struct {
+	// VictimStatus is the status word the victim's protocol reported.
+	VictimStatus uint64
+	// VictimBelievesSuccess is the victim's conclusion.
+	VictimBelievesSuccess bool
+	// AttackerStatus is what the attacker's completing access returned
+	// (meaningful in the Figure 6 scenario).
+	AttackerStatus uint64
+
+	// Transfers is (src, dst, size) for every transfer the engine
+	// actually started, resolved to scenario page names.
+	Transfers []string
+
+	// Hijacked: a transfer wrote into the victim's private page B from
+	// a source other than A — memory corruption (Figure 5's outcome).
+	Hijacked bool
+	// Misinformed: a transfer A→B started but the victim was told
+	// failure, or no transfer started and the victim was told success
+	// (Figure 6's outcome).
+	Misinformed bool
+
+	// VictimErr is the victim's exit error (e.g. retries exhausted).
+	VictimErr error
+}
+
+// String renders a one-glance summary.
+func (o AttackOutcome) String() string {
+	return fmt.Sprintf("transfers=%v victimSuccess=%v hijacked=%v misinformed=%v",
+		o.Transfers, o.VictimBelievesSuccess, o.Hijacked, o.Misinformed)
+}
+
+// attackWorld wires the two-process scenario on a fresh machine.
+type attackWorld struct {
+	m                *machine.Machine
+	victim, attacker *proc.Process
+	frames           map[string]phys.Addr // page name -> frame
+}
+
+// frameName resolves a physical address to the scenario page holding it.
+func (w *attackWorld) frameName(pa phys.Addr) string {
+	ps := phys.Addr(w.m.Cfg.PageSize)
+	for name, f := range w.frames {
+		if pa >= f && pa < f+ps {
+			return name
+		}
+	}
+	return pa.String()
+}
+
+// newAttackWorld builds the machine and both processes.
+// shareA additionally maps the victim's A page read-only into the
+// attacker (the Figure 6 precondition).
+func newAttackWorld(seqLen int, shareA bool, victimBody, attackerBody proc.Body) (*attackWorld, error) {
+	m, err := machine.New(machine.Alpha3000TC(dma.ModeRepeated, seqLen))
+	if err != nil {
+		return nil, err
+	}
+	w := &attackWorld{m: m, frames: map[string]phys.Addr{}}
+	w.victim = m.NewProcess("victim", victimBody)
+	w.attacker = m.NewProcess("attacker", attackerBody)
+
+	alloc := func(p *proc.Process, name string, va vm.VAddr) error {
+		frame, err := m.Kernel.AllocPage(p.AddressSpace(), va, vm.Read|vm.Write)
+		if err != nil {
+			return err
+		}
+		w.frames[name] = frame
+		return m.Kernel.MapShadow(p, va)
+	}
+	if err := alloc(w.victim, "A", vaA); err != nil {
+		return nil, err
+	}
+	if err := alloc(w.victim, "B", vaB); err != nil {
+		return nil, err
+	}
+	if err := alloc(w.attacker, "C", vaC); err != nil {
+		return nil, err
+	}
+	if err := alloc(w.attacker, "FOO", vaFoo); err != nil {
+		return nil, err
+	}
+	if shareA {
+		// Public read-only data: same frame, read right, own shadow.
+		if err := m.Kernel.MapFrame(w.attacker.AddressSpace(), vaA, w.frames["A"], vm.Read); err != nil {
+			return nil, err
+		}
+		if err := m.Kernel.MapShadow(w.attacker, vaA); err != nil {
+			return nil, err
+		}
+	}
+	m.Mem.Fill(w.frames["A"], 256, fillA)
+	m.Mem.Fill(w.frames["C"], 256, fillC)
+	return w, nil
+}
+
+// outcome inspects the engine's transfer log after a run.
+func (w *attackWorld) outcome(victimStatus, attackerStatus uint64) AttackOutcome {
+	o := AttackOutcome{
+		VictimStatus:          victimStatus,
+		VictimBelievesSuccess: victimStatus != dma.StatusFailure,
+		AttackerStatus:        attackerStatus,
+		VictimErr:             w.victim.Err(),
+	}
+	sawAtoB := false
+	for _, t := range w.m.Engine.Transfers() {
+		src, dst := w.frameName(t.Src), w.frameName(t.Dst)
+		o.Transfers = append(o.Transfers, fmt.Sprintf("%s->%s[%d]", src, dst, t.Size))
+		if dst == "B" && src != "A" {
+			o.Hijacked = true
+		}
+		if dst == "B" && src == "A" {
+			sawAtoB = true
+		}
+	}
+	if o.VictimBelievesSuccess != sawAtoB {
+		o.Misinformed = true
+	}
+	return o
+}
+
+// Figure5 replays the paper's Figure 5 against the 3-access variant:
+// the malicious process transfers its own data (C) into the victim's
+// private page (B), and the victim is told its own DMA succeeded.
+func Figure5() (AttackOutcome, error) {
+	const size = 64
+	var victimStatus uint64
+	victimBody := func(c *proc.Context) error {
+		// Dubnicki's 3-instruction protocol, one attempt, no retry:
+		// LOAD status1, STORE size, MB, LOAD status2.
+		if _, err := c.Load(shadow(vaA), phys.Size64); err != nil {
+			return err
+		}
+		if err := c.Store(shadow(vaB), phys.Size64, size); err != nil {
+			return err
+		}
+		if err := c.MB(); err != nil {
+			return err
+		}
+		st, err := c.Load(shadow(vaA), phys.Size64)
+		victimStatus = st
+		return err
+	}
+	attackerBody := func(c *proc.Context) error {
+		// Only the attacker's own pages are touched — every access is
+		// individually legal.
+		if err := c.Store(shadow(vaFoo), phys.Size64, 1); err != nil {
+			return err
+		}
+		if err := c.MB(); err != nil {
+			return err
+		}
+		if _, err := c.Load(shadow(vaFoo), phys.Size64); err != nil {
+			return err
+		}
+		if _, err := c.Load(shadow(vaC), phys.Size64); err != nil {
+			return err
+		}
+		_, err := c.Load(shadow(vaC), phys.Size64)
+		return err
+	}
+	w, err := newAttackWorld(3, false, victimBody, attackerBody)
+	if err != nil {
+		return AttackOutcome{}, err
+	}
+	V, A := w.victim.PID(), w.attacker.PID()
+	// Figure 5's interleaving, slot by slot:
+	//   V: LOAD shadow(A)            1
+	//   A: STORE shadow(FOO), MB     2-3
+	//   A: LOAD shadow(FOO)          4   <- no DMA (A != FOO)
+	//   A: LOAD shadow(C)            5
+	//   V: STORE shadow(B), MB       6-7
+	//   A: LOAD shadow(C)            8   <- DMA C->B starts!
+	//   V: LOAD shadow(A)            9   <- too late to do anything
+	script := proc.NewScripted(V, A, A, A, A, V, V, A, V)
+	if err := w.m.Run(script, 10_000); err != nil {
+		return AttackOutcome{}, err
+	}
+	w.m.Settle()
+	return w.outcome(victimStatus, 0), nil
+}
+
+// Figure6 replays the paper's Figure 6 against the 4-access variant:
+// the attacker (read access to the public page A) completes the
+// victim's sequence, so the DMA starts for the attacker while the
+// victim is told it failed.
+func Figure6() (AttackOutcome, error) {
+	const size = 64
+	var victimStatus, attackerStatus uint64
+	victimBody := func(c *proc.Context) error {
+		// Figure 6's victim: STORE, LOAD, STORE, [attacker], LOAD.
+		if err := c.Store(shadow(vaB), phys.Size64, size); err != nil {
+			return err
+		}
+		if err := c.MB(); err != nil {
+			return err
+		}
+		if _, err := c.Load(shadow(vaA), phys.Size64); err != nil {
+			return err
+		}
+		if err := c.Store(shadow(vaB), phys.Size64, size); err != nil {
+			return err
+		}
+		if err := c.MB(); err != nil {
+			return err
+		}
+		st, err := c.Load(shadow(vaA), phys.Size64)
+		victimStatus = st
+		return err
+	}
+	attackerBody := func(c *proc.Context) error {
+		// One read of public data's shadow — individually legal.
+		st, err := c.Load(shadow(vaA), phys.Size64)
+		attackerStatus = st
+		return err
+	}
+	w, err := newAttackWorld(4, true, victimBody, attackerBody)
+	if err != nil {
+		return AttackOutcome{}, err
+	}
+	V, A := w.victim.PID(), w.attacker.PID()
+	// Victim slots 1-5 (S, MB, L, S, MB), attacker's completing LOAD,
+	// then the victim's final LOAD — Figure 6's interleaving.
+	script := proc.NewScripted(V, V, V, V, V, A, V)
+	if err := w.m.Run(script, 10_000); err != nil {
+		return AttackOutcome{}, err
+	}
+	w.m.Settle()
+	return w.outcome(victimStatus, attackerStatus), nil
+}
+
+// Figure8Replay runs the Figure 5 attack schedule against the paper's
+// safe 5-access sequence: the attack must not start any transfer into
+// B, and the victim (which retries per Figure 7) must end with an
+// honest answer.
+func Figure8Replay() (AttackOutcome, error) {
+	const size = 64
+	var victimStatus uint64
+	var victimErr error
+	victimBody := func(c *proc.Context) error {
+		// The real protocol: Figure 7 with retries.
+		// Build a temporary handle-less sequence via RepeatedPassing.
+		r := RepeatedPassing{Len: 5, Barriers: true, MaxRetries: 16}
+		prog := r.sequence(vaA, vaB, size)
+		for attempt := 0; attempt < r.MaxRetries; attempt++ {
+			st, err := runCheckedProgram(c, prog)
+			if err != nil {
+				return err
+			}
+			if st == dma.StatusFailure || st == dma.StatusAccepted {
+				continue // strict client (see RepeatedPassing.LooseStatus)
+			}
+			victimStatus = st
+			return nil
+		}
+		victimStatus = dma.StatusFailure
+		victimErr = ErrRetriesExhausted
+		return nil
+	}
+	attackerBody := func(c *proc.Context) error {
+		for i := 0; i < 4; i++ { // keep interfering across retries
+			c.Store(shadow(vaFoo), phys.Size64, 1)
+			c.MB()
+			c.Load(shadow(vaFoo), phys.Size64)
+			c.Load(shadow(vaC), phys.Size64)
+			c.Load(shadow(vaC), phys.Size64)
+		}
+		return nil
+	}
+	w, err := newAttackWorld(5, false, victimBody, attackerBody)
+	if err != nil {
+		return AttackOutcome{}, err
+	}
+	V, A := w.victim.PID(), w.attacker.PID()
+	// Same adversarial flavour as Figure 5, then free-run to let the
+	// victim's retries finish.
+	script := proc.NewScripted(V, A, A, A, A, V, V, A, V, A, V, A, V)
+	if err := w.m.Run(script, 100_000); err != nil {
+		return AttackOutcome{}, err
+	}
+	w.m.Settle()
+	o := w.outcome(victimStatus, 0)
+	if victimErr != nil && o.VictimErr == nil {
+		o.VictimErr = victimErr
+	}
+	return o, nil
+}
+
+// RandomAdversarialRun drives a victim (5-access protocol with retries)
+// against an attacker issuing a seeded-random stream of legal shadow
+// accesses, under a seeded-random scheduler. looseStatus selects the
+// paper's literal Figure 7 client (checks DMA_FAILURE only) instead of
+// the strict one that also retries on ACCEPTED. It returns the outcome;
+// the property test asserts that no run is ever Hijacked.
+func RandomAdversarialRun(seed uint64, shareA, looseStatus bool) (AttackOutcome, error) {
+	const size = 64
+	var victimStatus uint64
+	victimBody := func(c *proc.Context) error {
+		r := RepeatedPassing{Len: 5, Barriers: true, MaxRetries: 32}
+		prog := r.sequence(vaA, vaB, size)
+		for attempt := 0; attempt < r.MaxRetries; attempt++ {
+			st, err := runCheckedProgram(c, prog)
+			if err != nil {
+				return err
+			}
+			if st == dma.StatusFailure {
+				continue
+			}
+			if st == dma.StatusAccepted && !looseStatus {
+				continue // strict client: final load only extended a foreign sequence
+			}
+			victimStatus = st
+			return nil
+		}
+		victimStatus = dma.StatusFailure
+		return nil
+	}
+	attackerBody := func(c *proc.Context) error {
+		rng := sim.NewRand(seed ^ 0xa77ac)
+		targets := []vm.VAddr{shadow(vaC), shadow(vaFoo)}
+		if shareA {
+			targets = append(targets, shadow(vaA)) // read-only share
+		}
+		for i := 0; i < 40; i++ {
+			t := targets[rng.Intn(len(targets))]
+			switch rng.Intn(3) {
+			case 0:
+				if t != shadow(vaA) { // attacker cannot store to A
+					c.Store(t, phys.Size64, uint64(rng.Intn(256)+1))
+					c.MB()
+				}
+			case 1:
+				c.Load(t, phys.Size64)
+			default:
+				c.Spin(50)
+			}
+		}
+		return nil
+	}
+	w, err := newAttackWorld(5, shareA, victimBody, attackerBody)
+	if err != nil {
+		return AttackOutcome{}, err
+	}
+	if err := w.m.Run(proc.NewRandom(seed), 1_000_000); err != nil {
+		return AttackOutcome{}, err
+	}
+	w.m.Settle()
+	return w.outcome(victimStatus, 0), nil
+}
+
+// ExhaustiveInterleavings enumerates EVERY interleaving of the victim's
+// single 5-access attempt (with barriers: 7 slots) with an attacker
+// program of up to maxAttacker slots drawn from a fixed adversarial
+// program, running each schedule on a fresh machine. It returns the
+// number of schedules tried and the first hijacking outcome found (nil
+// if none — the paper's §3.3.1 claim).
+func ExhaustiveInterleavings(attackerSlots int) (tried int, hijack *AttackOutcome, err error) {
+	const size = 64
+	// Victim: S MB L S MB L L = 7 slots. Attacker: first `attackerSlots`
+	// slots of [S(FOO) MB L(FOO) L(C) L(C) S(C) MB L(FOO)].
+	const victimSlots = 7
+	schedules := interleavings(victimSlots, attackerSlots)
+	for _, sched := range schedules {
+		tried++
+		var victimStatus uint64
+		victimBody := func(c *proc.Context) error {
+			r := RepeatedPassing{Len: 5, Barriers: true}
+			st, e := runCheckedProgram(c, r.sequence(vaA, vaB, size))
+			victimStatus = st
+			return e
+		}
+		attackerBody := func(c *proc.Context) error {
+			c.Store(shadow(vaFoo), phys.Size64, 32)
+			c.MB()
+			c.Load(shadow(vaFoo), phys.Size64)
+			c.Load(shadow(vaC), phys.Size64)
+			c.Load(shadow(vaC), phys.Size64)
+			c.Store(shadow(vaC), phys.Size64, 32)
+			c.MB()
+			c.Load(shadow(vaFoo), phys.Size64)
+			return nil
+		}
+		w, e := newAttackWorld(5, false, victimBody, attackerBody)
+		if e != nil {
+			return tried, nil, e
+		}
+		V, A := w.victim.PID(), w.attacker.PID()
+		var order []proc.PID
+		for _, isVictim := range sched {
+			if isVictim {
+				order = append(order, V)
+			} else {
+				order = append(order, A)
+			}
+		}
+		if e := w.m.Run(proc.NewScripted(order...), 100_000); e != nil {
+			return tried, nil, e
+		}
+		w.m.Settle()
+		o := w.outcome(victimStatus, 0)
+		if o.Hijacked {
+			return tried, &o, nil
+		}
+	}
+	return tried, nil, nil
+}
+
+// ScenarioSymbols returns the assembler symbol table of the standard
+// attack scenario: A, B (victim pages, B private), C, FOO (attacker
+// pages), each resolving to its shadow virtual address.
+func ScenarioSymbols() map[string]vm.VAddr {
+	return map[string]vm.VAddr{
+		"A":   shadow(vaA),
+		"B":   shadow(vaB),
+		"C":   shadow(vaC),
+		"FOO": shadow(vaFoo),
+	}
+}
+
+// CustomDuel runs researcher-scripted victim and attacker programs in
+// the standard attack scenario under an explicit slot schedule
+// ('V'/'A' per slot; unscheduled slots fall back to spawn order). The
+// victim's status is its program's last load. attacksim's -custom mode
+// is built on this.
+func CustomDuel(seqLen int, shareA bool, victimProg, attackerProg isa.Program, schedule string) (AttackOutcome, error) {
+	if seqLen != 3 && seqLen != 4 && seqLen != 5 {
+		return AttackOutcome{}, fmt.Errorf("userdma: engine sequence length %d (want 3, 4 or 5)", seqLen)
+	}
+	var victimStatus uint64 = dma.StatusFailure
+	victimBody := func(c *proc.Context) error {
+		vals, err := isa.Run(c, victimProg)
+		if err != nil {
+			return err
+		}
+		if len(vals) > 0 {
+			victimStatus = vals[len(vals)-1]
+		}
+		return nil
+	}
+	attackerBody := func(c *proc.Context) error {
+		_, err := isa.Run(c, attackerProg)
+		return err
+	}
+	w, err := newAttackWorld(seqLen, shareA, victimBody, attackerBody)
+	if err != nil {
+		return AttackOutcome{}, err
+	}
+	var order []proc.PID
+	for _, r := range schedule {
+		switch r {
+		case 'V', 'v':
+			order = append(order, w.victim.PID())
+		case 'A', 'a':
+			order = append(order, w.attacker.PID())
+		case ' ', ',':
+		default:
+			return AttackOutcome{}, fmt.Errorf("userdma: schedule char %q (want V or A)", r)
+		}
+	}
+	if err := w.m.Run(proc.NewScripted(order...), 100_000); err != nil {
+		return AttackOutcome{}, err
+	}
+	w.m.Settle()
+	return w.outcome(victimStatus, 0), nil
+}
+
+// interleavings enumerates all merge orders of v victim slots with a
+// attacker slots, as boolean slices (true = victim slot).
+func interleavings(v, a int) [][]bool {
+	if v == 0 && a == 0 {
+		return [][]bool{{}}
+	}
+	var out [][]bool
+	if v > 0 {
+		for _, rest := range interleavings(v-1, a) {
+			out = append(out, append([]bool{true}, rest...))
+		}
+	}
+	if a > 0 {
+		for _, rest := range interleavings(v, a-1) {
+			out = append(out, append([]bool{false}, rest...))
+		}
+	}
+	return out
+}

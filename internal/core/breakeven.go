@@ -1,0 +1,201 @@
+package userdma
+
+import (
+	"fmt"
+
+	"uldma/internal/dma"
+	"uldma/internal/machine"
+	"uldma/internal/proc"
+	"uldma/internal/sim"
+	"uldma/internal/vm"
+)
+
+// Experiment X6 quantifies the paper's opening argument:
+//
+//	"Soon, the operating system overhead associated with starting a DMA
+//	 will be larger than the data transfer itself, esp. for small data
+//	 transfers."
+//
+// For each method and transfer size we measure the initiation time and
+// the wire time of the transfer, and report the crossover: the smallest
+// size whose transfer outweighs its initiation.
+
+// BreakEvenPoint is one (method, size) measurement.
+type BreakEvenPoint struct {
+	Size       uint64
+	Initiation sim.Time // start of sequence to status returned
+	Transfer   sim.Time // engine accept to last byte delivered
+	// InitShare is initiation / (initiation + transfer).
+	InitShare float64
+}
+
+// DefaultSizes is the sweep used by the tools: 8 B to 64 KiB.
+var DefaultSizes = []uint64{8, 64, 256, 1024, 4096, 16384, 65536}
+
+// BreakEven sweeps transfer sizes for one method on its calibrated
+// preset. Each size runs on a fresh machine so engine queueing never
+// contaminates the numbers.
+func BreakEven(method Method, sizes []uint64) ([]BreakEvenPoint, error) {
+	var out []BreakEvenPoint
+	for _, size := range sizes {
+		pt, err := breakEvenOne(method, size)
+		if err != nil {
+			return nil, fmt.Errorf("size %d: %w", size, err)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+func breakEvenOne(method Method, size uint64) (BreakEvenPoint, error) {
+	return breakEvenOneCfg(method, ConfigFor(method), size)
+}
+
+func breakEvenOneCfg(method Method, cfg machine.Config, size uint64) (BreakEvenPoint, error) {
+	m, err := machine.New(cfg)
+	if err != nil {
+		return BreakEvenPoint{}, err
+	}
+	pageSize := m.Cfg.PageSize
+	pages := int((size + pageSize - 1) / pageSize)
+	if pages == 0 {
+		pages = 1
+	}
+
+	var h *Handle
+	var pt BreakEvenPoint
+	const srcBase, dstBase = vm.VAddr(0x100000), vm.VAddr(0x900000)
+	p := m.NewProcess("bench", func(c *proc.Context) error {
+		// Warm the TLB so initiation matches the Table 1 methodology
+		// (zero-length: no transfer, no bus contention).
+		if _, err := h.DMA(c, srcBase, dstBase, 0); err != nil {
+			return err
+		}
+		start := m.Clock.Now()
+		st, err := h.DMA(c, srcBase, dstBase, size)
+		if err != nil {
+			return err
+		}
+		if st == dma.StatusFailure {
+			return fmt.Errorf("userdma: initiation refused")
+		}
+		pt.Initiation = m.Clock.Now() - start
+		return nil
+	})
+	h, err = method.Attach(m, p)
+	if err != nil {
+		return pt, err
+	}
+	if _, err := m.SetupPages(p, srcBase, pages, vm.Read|vm.Write); err != nil {
+		return pt, err
+	}
+	dstFrames, err := m.SetupPages(p, dstBase, pages, vm.Read|vm.Write)
+	if err != nil {
+		return pt, err
+	}
+	if s1, ok := method.(SHRIMP1); ok {
+		if err := s1.MapOutPage(m, p, srcBase, dstFrames[0]); err != nil {
+			return pt, err
+		}
+	}
+	if err := m.Run(proc.NewRoundRobin(1<<20), 1<<30); err != nil {
+		return pt, err
+	}
+	if p.Err() != nil {
+		return pt, p.Err()
+	}
+	t := m.Engine.LastTransfer()
+	if t == nil || t.Failed {
+		return pt, fmt.Errorf("userdma: no transfer recorded")
+	}
+	pt.Size = size
+	pt.Transfer = t.End - t.Start
+	pt.InitShare = float64(pt.Initiation) / float64(pt.Initiation+pt.Transfer)
+	return pt, nil
+}
+
+// Crossover returns the smallest measured size whose transfer time
+// meets or exceeds its initiation time, and whether any size did.
+func Crossover(points []BreakEvenPoint) (uint64, bool) {
+	for _, pt := range points {
+		if pt.Transfer >= pt.Initiation {
+			return pt.Size, true
+		}
+	}
+	return 0, false
+}
+
+// Experiment X7: the paper's motivating trend. "Operating Systems do
+// not get faster as fast as hardware does ... the operating system
+// overhead keeps getting an ever-increasing percentage of the DMA
+// transfer time." TrendSweep measures kernel and extended-shadow
+// initiation across three hardware generations and the break-even size
+// of the kernel path in each.
+
+// Era is one hardware generation in the trend sweep.
+type Era struct {
+	Name     string
+	Config   func(mode dma.Mode, seqLen int) machine.Config
+	WireSize uint64 // reference message size for the share column
+}
+
+// TrendEras returns the three generations of experiment X7.
+func TrendEras() []Era {
+	return []Era{
+		{Name: "1994 (100MHz, TC, 1.5k-cycle trap)", Config: machine.Workstation1994, WireSize: 1024},
+		{Name: "1997 (150MHz, TC, 2.2k-cycle trap)", Config: machine.Alpha3000TC, WireSize: 1024},
+		{Name: "2000 (500MHz, PCI-66, 4.3k-cycle trap)", Config: machine.Workstation2000, WireSize: 1024},
+	}
+}
+
+// TrendPoint is one era's measurement.
+type TrendPoint struct {
+	Era             string
+	KernelInit      sim.Time
+	UserInit        sim.Time // extended shadow addressing
+	KernelCrossover uint64   // bytes where the wire outweighs the kernel trap
+}
+
+// TrendSweep runs experiment X7.
+func TrendSweep(iters int) ([]TrendPoint, error) {
+	var out []TrendPoint
+	for _, era := range TrendEras() {
+		kCfg := era.Config(dma.ModePaired, 0)
+		kRes, err := MeasureMethod(KernelLevel{}, kCfg, iters)
+		if err != nil {
+			return nil, fmt.Errorf("%s/kernel: %w", era.Name, err)
+		}
+		uCfg := era.Config(dma.ModeExtended, 0)
+		uRes, err := MeasureMethod(ExtShadow{}, uCfg, iters)
+		if err != nil {
+			return nil, fmt.Errorf("%s/user: %w", era.Name, err)
+		}
+		pts, err := breakEvenEra(era, DefaultSizes)
+		if err != nil {
+			return nil, err
+		}
+		cross, _ := Crossover(pts)
+		out = append(out, TrendPoint{
+			Era:             era.Name,
+			KernelInit:      kRes.Mean,
+			UserInit:        uRes.Mean,
+			KernelCrossover: cross,
+		})
+	}
+	return out, nil
+}
+
+// breakEvenEra runs the kernel-path break-even sweep on an era's
+// machine (BreakEven always uses the 1997 preset, so the trend needs
+// its own variant).
+func breakEvenEra(era Era, sizes []uint64) ([]BreakEvenPoint, error) {
+	var out []BreakEvenPoint
+	for _, size := range sizes {
+		pt, err := breakEvenOneCfg(KernelLevel{}, era.Config(dma.ModePaired, 0), size)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}

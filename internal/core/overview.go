@@ -1,0 +1,67 @@
+package userdma
+
+import (
+	"fmt"
+
+	"uldma/internal/proc"
+	"uldma/internal/vm"
+)
+
+// MethodInfo summarizes one initiation scheme for the tools: the §4
+// comparison table ("2-5 assembly instructions ... issued from user
+// level") as data.
+type MethodInfo struct {
+	Name string
+	// EngineMode names the shadow-decode protocol the NIC needs.
+	EngineMode string
+	// UserAccesses is the number of user-issued bus accesses per
+	// initiation (0 for call-based methods).
+	UserAccesses int
+	// Instructions is the user-level instruction count including
+	// barriers ("syscall" / "call_pal" for the call-based methods).
+	Instructions string
+	// KernelMod reports whether the scheme needs a context-switch hook.
+	KernelMod bool
+	// Polls reports whether completion can be polled from user level.
+	Polls bool
+}
+
+// Overview compiles the summary row for every method by attaching each
+// to a scratch machine and inspecting its compiled sequence.
+func Overview() ([]MethodInfo, error) {
+	var out []MethodInfo
+	for _, method := range AllMethods() {
+		m := Machine(method)
+		p := m.NewProcess("probe", func(c *proc.Context) error { return nil })
+		h, err := method.Attach(m, p)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", method.Name(), err)
+		}
+		if _, err := m.SetupPages(p, 0x10000, 1, vm.Read|vm.Write); err != nil {
+			return nil, err
+		}
+		if _, err := m.SetupPages(p, 0x20000, 1, vm.Read|vm.Write); err != nil {
+			return nil, err
+		}
+		info := MethodInfo{
+			Name:       method.Name(),
+			EngineMode: method.EngineMode().String(),
+			KernelMod:  method.RequiresKernelMod(),
+			Polls:      h.poll != nil,
+		}
+		if prog, ok := h.Program(0x10000, 0x20000, 64); ok {
+			info.UserAccesses = prog.BusAccesses()
+			info.Instructions = fmt.Sprintf("%d", prog.Len())
+		} else if _, isKernel := method.(KernelLevel); isKernel {
+			info.Instructions = "syscall"
+		} else {
+			info.Instructions = "call_pal"
+		}
+		out = append(out, info)
+		// Drain the probe process.
+		if err := m.Run(proc.NewRoundRobin(1), 100); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

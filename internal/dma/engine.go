@@ -1,0 +1,652 @@
+// Package dma implements the network interface's DMA engine — the
+// hardware half of every initiation scheme in the paper. It is modelled
+// on the Telegraphos prototype board: a bus device whose physical
+// address window is split into
+//
+//   - a shadow window, where the physical address of an access *encodes*
+//     a main-memory physical address (plus, for extended shadow
+//     addressing, a register-context id). Loads and stores here are
+//     argument-passing operations, never memory accesses (§2.3);
+//   - register-context pages (key-based scheme, §3.1): one page per
+//     context, mapped by the OS into exactly one process, aliasing that
+//     context's size/status register;
+//   - a control page with the classic kernel-programmed DMA registers
+//     (Figure 1) plus the hooks prior work needed (current-PID register
+//     for FLASH, abort register for SHRIMP-2);
+//   - an atomic-operation window (§3.5), where a single locked
+//     read-modify-write bus transaction performs fetch_and_add,
+//     fetch_and_store or compare_and_swap on main memory.
+//
+// The engine is configured with exactly one shadow decode Mode, the way
+// a real board is wired for one protocol; experiments build one machine
+// per protocol under test.
+package dma
+
+import (
+	"fmt"
+
+	"uldma/internal/phys"
+	"uldma/internal/sim"
+)
+
+// Mode selects how the engine interprets shadow-window accesses.
+type Mode uint8
+
+// Shadow decode modes.
+const (
+	// ModePaired: STORE size TO shadow(dst) then LOAD FROM shadow(src)
+	// into a single global pending slot (SHRIMP's second solution, §2.5;
+	// also the sequence PAL code executes, §2.7, and — with PID tracking
+	// enabled — the FLASH scheme, §2.6).
+	ModePaired Mode = iota
+	// ModeKeyed: register contexts addressed by a key#ctx value in the
+	// store data (§3.1).
+	ModeKeyed
+	// ModeExtended: register contexts addressed by spare physical
+	// address bits set by the OS in the shadow mapping (§3.2).
+	ModeExtended
+	// ModeRepeated: the repeated-passing sequence FSM (§3.3); SeqLen
+	// selects the 3-, 4- or 5-access variant.
+	ModeRepeated
+	// ModeMappedOut: SHRIMP's first solution (§2.4) — each source page
+	// has a fixed mapped-out destination, and one compare-and-exchange
+	// access carries the whole initiation.
+	ModeMappedOut
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModePaired:
+		return "paired"
+	case ModeKeyed:
+		return "keyed"
+	case ModeExtended:
+		return "extended"
+	case ModeRepeated:
+		return "repeated"
+	case ModeMappedOut:
+		return "mapped-out"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// Status values returned by argument-passing loads and status reads.
+// Any value other than StatusFailure/StatusAccepted is a byte count
+// still to transfer (0 = complete).
+const (
+	// StatusFailure is the DMA_FAILURE code (-1): the initiation was
+	// rejected or the sequence was broken.
+	StatusFailure = ^uint64(0)
+	// StatusAccepted (-2) acknowledges a repeated-passing access that
+	// kept a sequence valid but did not START a transfer. Making it
+	// distinct from both DMA_FAILURE and every possible remaining-byte
+	// count lets a careful client detect that its FINAL load merely
+	// extended someone else's sequence instead of completing its own —
+	// closing a false-success window the paper's "check DMA_FAILURE
+	// only" client (Figure 7) leaves open under multiprogramming. See
+	// EXPERIMENTS.md ("status integrity").
+	StatusAccepted = ^uint64(1)
+)
+
+// Control-page register offsets (Figure 1's kernel interface plus the
+// kernel-modification hooks of prior work).
+const (
+	RegSource  = 0x00 // DMA_SOURCE: physical source address
+	RegDest    = 0x08 // DMA_DESTINATION: physical destination address
+	RegSize    = 0x10 // DMA_SIZE: byte count; writing starts the transfer
+	RegStatus  = 0x18 // DMA_STATUS: remaining bytes or StatusFailure
+	RegPID     = 0x20 // current process id (the FLASH context-switch hook)
+	RegAbort   = 0x28 // any write aborts pending half-initiations (SHRIMP-2 hook)
+	RegLastSt  = 0x30 // status of the most recently started transfer
+	RegStarted = 0x38 // count of transfers started (diagnostics)
+)
+
+// Atomic-operation codes, encoded in the atomic window address.
+const (
+	AtomicAdd  = 0 // fetch_and_add: returns old, stores old+val
+	AtomicSwap = 1 // fetch_and_store: returns old, stores val
+	AtomicCAS  = 2 // compare_and_swap: val packs (cmp<<32 | new) on 32-bit cells
+)
+
+// Config wires the engine into the machine's physical address map and
+// sets its performance parameters.
+type Config struct {
+	// Mode is the shadow decode protocol the board is built for.
+	Mode Mode
+	// SeqLen is the repeated-passing variant (3, 4 or 5 accesses); only
+	// meaningful in ModeRepeated.
+	SeqLen int
+	// Contexts is the number of register contexts (the paper suggests
+	// 4-8 for the keyed scheme; extended mode uses 1<<CtxBits).
+	Contexts int
+	// CtxBits is the number of physical address bits carrying the
+	// context id in ModeExtended (the paper envisions 1-2).
+	CtxBits int
+	// NoRegContexts selects the cheaper ModeExtended hardware variant
+	// of §3.2: "If the DMA engine has no register contexts, then when
+	// it receives pairs of STORE and LOAD instructions, it checks the
+	// CONTEXT_ID values of the two physical addresses. If they are
+	// different, the DMA operation is not started and an error code is
+	// returned by the last LOAD." Initiations interrupted by another
+	// context's initiation fail cleanly and must be retried.
+	NoRegContexts bool
+	// MemBits is the width of a main-memory physical address inside a
+	// shadow encoding; 1<<MemBits must cover MemSize and RemoteBase.
+	MemBits uint
+	// PageSize matches the MMU page size (register-context pages are
+	// page-sized so they can be mapped per process).
+	PageSize uint64
+	// MemSize is the size of local physical memory; transfers are
+	// validated against it.
+	MemSize uint64
+
+	// ShadowBase etc. place the engine's bus windows.
+	ShadowBase  phys.Addr
+	CtxPageBase phys.Addr
+	ControlBase phys.Addr
+	AtomicBase  phys.Addr
+
+	// RemoteBase, if non-zero, marks decoded destination addresses at or
+	// above it as remote: node = (dst-RemoteBase)>>NodeShift, remote
+	// offset = dst & (1<<NodeShift - 1). Requires a RemoteHandler.
+	RemoteBase phys.Addr
+	NodeShift  uint
+
+	// KeyCheckCycles is the extra bus-side latency of validating a key
+	// (ModeKeyed shadow stores).
+	KeyCheckCycles int64
+	// StartupTime is the engine latency between accepting arguments and
+	// moving the first byte.
+	StartupTime sim.Time
+	// Bandwidth is the transfer data rate in bytes/second.
+	Bandwidth uint64
+	// MaxTransfer caps a single DMA's size (0 = limited only by memory).
+	MaxTransfer uint64
+}
+
+// ShadowWindowSize returns the bus-window size the shadow range needs.
+func (c Config) ShadowWindowSize() uint64 {
+	span := uint64(1) << c.MemBits
+	if c.Mode == ModeExtended {
+		span <<= uint(c.CtxBits)
+	}
+	return span
+}
+
+// AtomicWindowSize returns the bus-window size of the atomic range
+// (4 operation slots, future-proofing one spare).
+func (c Config) AtomicWindowSize() uint64 { return 4 << c.MemBits }
+
+// CtxWindowSize returns the bus-window size of the register-context
+// pages.
+func (c Config) CtxWindowSize() uint64 { return uint64(c.Contexts) * c.PageSize }
+
+// RemoteWindowSize returns the bus-window size of the remote-write
+// range (0 when the engine is not on a cluster fabric). The window
+// spans the rest of the MemBits-encodable space above RemoteBase, so
+// the same addresses work both as direct remote-write targets and as
+// DMA destinations.
+func (c Config) RemoteWindowSize() uint64 {
+	if c.RemoteBase == 0 {
+		return 0
+	}
+	return (uint64(1) << c.MemBits) - uint64(c.RemoteBase)
+}
+
+// RemoteAddr returns the physical address that names (node, offset) on
+// the cluster fabric — usable as a DMA destination or, via the bus, as
+// a direct remote-write target.
+func (c Config) RemoteAddr(node int, offset phys.Addr) phys.Addr {
+	return c.RemoteBase + phys.Addr(uint64(node)<<c.NodeShift) + offset
+}
+
+// WindowOf names the engine window a physical address decodes to
+// ("shadow", "ctx", "control", "atomic", "remote") or "" for addresses
+// outside the engine. Trace tooling uses it to annotate bus traffic.
+func (c Config) WindowOf(addr phys.Addr) string {
+	in := func(base phys.Addr, size uint64) bool {
+		return size > 0 && addr >= base && uint64(addr)-uint64(base) < size
+	}
+	switch {
+	case in(c.ShadowBase, c.ShadowWindowSize()):
+		return "shadow"
+	case c.Contexts > 0 && in(c.CtxPageBase, c.CtxWindowSize()):
+		return "ctx"
+	case in(c.ControlBase, c.PageSize):
+		return "control"
+	case in(c.AtomicBase, c.AtomicWindowSize()):
+		return "atomic"
+	case c.RemoteBase != 0 && in(c.RemoteBase, c.RemoteWindowSize()):
+		return "remote"
+	default:
+		return ""
+	}
+}
+
+// Shadow returns the shadow physical address encoding pa for register
+// context ctx (ctx is ignored outside ModeExtended). The OS uses this
+// when it builds shadow page mappings; tests use it to force raw
+// accesses.
+func (c Config) Shadow(pa phys.Addr, ctx int) phys.Addr {
+	a := c.ShadowBase + phys.Addr(uint64(pa)&(1<<c.MemBits-1))
+	if c.Mode == ModeExtended {
+		a += phys.Addr(uint64(ctx) << c.MemBits)
+	}
+	return a
+}
+
+// AtomicShadow returns the atomic-window physical address encoding
+// operation op on pa.
+func (c Config) AtomicShadow(pa phys.Addr, op int) phys.Addr {
+	return c.AtomicBase + phys.Addr(uint64(op)<<c.MemBits) + phys.Addr(uint64(pa)&(1<<c.MemBits-1))
+}
+
+// CtxPage returns the physical base of register context ctx's page.
+func (c Config) CtxPage(ctx int) phys.Addr {
+	return c.CtxPageBase + phys.Addr(uint64(ctx)*c.PageSize)
+}
+
+func (c Config) validate() error {
+	if c.MemBits == 0 || c.MemBits > 40 {
+		return fmt.Errorf("dma: MemBits %d out of range", c.MemBits)
+	}
+	if c.MemSize == 0 || c.MemSize > 1<<c.MemBits {
+		return fmt.Errorf("dma: MemSize %d not covered by MemBits %d", c.MemSize, c.MemBits)
+	}
+	if c.PageSize == 0 || c.PageSize&(c.PageSize-1) != 0 {
+		return fmt.Errorf("dma: page size %d not a power of two", c.PageSize)
+	}
+	if c.Bandwidth == 0 {
+		return fmt.Errorf("dma: zero bandwidth")
+	}
+	switch c.Mode {
+	case ModeKeyed:
+		if c.Contexts < 1 || c.Contexts > 256 {
+			return fmt.Errorf("dma: keyed mode needs 1-256 contexts, have %d", c.Contexts)
+		}
+	case ModeExtended:
+		if c.CtxBits < 1 || c.CtxBits > 8 {
+			return fmt.Errorf("dma: extended mode needs 1-8 context bits, have %d", c.CtxBits)
+		}
+	case ModeRepeated:
+		if c.SeqLen != 3 && c.SeqLen != 4 && c.SeqLen != 5 {
+			return fmt.Errorf("dma: repeated mode needs SeqLen 3, 4 or 5, have %d", c.SeqLen)
+		}
+	case ModePaired, ModeMappedOut:
+	default:
+		return fmt.Errorf("dma: unknown mode %v", c.Mode)
+	}
+	if c.RemoteBase != 0 {
+		if uint64(c.RemoteBase) >= 1<<c.MemBits {
+			return fmt.Errorf("dma: RemoteBase %v not encodable in %d bits", c.RemoteBase, c.MemBits)
+		}
+		if c.NodeShift == 0 {
+			return fmt.Errorf("dma: RemoteBase set but NodeShift is zero")
+		}
+	}
+	return nil
+}
+
+// Stats counts engine activity.
+type Stats struct {
+	ShadowStores   uint64
+	ShadowLoads    uint64
+	KeyMismatches  uint64
+	SeqResets      uint64 // repeated-mode FSM resets
+	Started        uint64 // transfers accepted
+	Rejected       uint64 // initiations refused (validation, broken sequence)
+	Completed      uint64
+	BytesMoved     uint64
+	AtomicOps      uint64
+	RemoteStarted  uint64
+	AbortedPending uint64 // half-initiations discarded (SHRIMP-2/FLASH hooks)
+}
+
+// RemoteHandler delivers remote-write DMA payloads to another node. The
+// net package implements it with link latency/bandwidth modelling.
+type RemoteHandler interface {
+	// Deliver ships data to (node, addr); at is the simulated time the
+	// payload leaves this engine.
+	Deliver(node int, addr phys.Addr, data []byte, at sim.Time) error
+}
+
+// RemoteAtomicHandler is implemented by fabrics that support atomic
+// operations on another node's memory (Telegraphos-style NOW shared
+// memory). The call is synchronous: the fabric performs the operation
+// on the remote cell and accounts the round-trip time on the shared
+// clock before returning — the issuing CPU stalls for it, like any
+// locked transaction.
+type RemoteAtomicHandler interface {
+	RMWRemote(node int, addr phys.Addr, op int, size phys.AccessSize, val uint64) (uint64, error)
+}
+
+// regContext is one register context: a private argument slot so that a
+// context switch between a process's argument stores cannot mix its
+// arguments with another process's (§3.1).
+type regContext struct {
+	src, dst         phys.Addr
+	size             uint64
+	haveSrc, haveDst bool
+	haveSize         bool
+	cur              *Transfer
+}
+
+// pendingPair is the single global half-initiation slot of ModePaired.
+type pendingPair struct {
+	dst   phys.Addr
+	size  uint64
+	pid   int
+	valid bool
+}
+
+// Engine is the DMA engine device.
+type Engine struct {
+	cfg    Config
+	clock  *sim.Clock
+	events *sim.EventQueue
+	mem    *phys.Memory
+
+	ctxs    []regContext
+	keys    []uint64 // per-context keys (0 = unassigned), ModeKeyed
+	pending pendingPair
+	pidTrk  bool // FLASH-style PID tracking on the pending slot
+	curPID  int
+
+	seq seqFSM // ModeRepeated
+
+	pageMap map[phys.Addr]phys.Addr // ModeMappedOut: src page -> dst base
+
+	// Kernel-programmed registers (control page).
+	regSrc, regDst uint64
+	last           *Transfer
+	log            []*Transfer
+	xfer           transferEngine
+
+	remote   RemoteHandler
+	reserver BusReserver
+	stats    Stats
+}
+
+// BusReserver lets the engine report the windows in which it masters
+// the bus (DMA cycle stealing); implemented by bus.Bus.
+type BusReserver interface {
+	ReserveDMA(start, end sim.Time)
+}
+
+// New builds an engine. mem is the node's local memory the engine
+// masters transfers on.
+func New(cfg Config, clock *sim.Clock, events *sim.EventQueue, mem *phys.Memory) (*Engine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	nCtx := cfg.Contexts
+	if cfg.Mode == ModeExtended {
+		nCtx = 1 << cfg.CtxBits
+	}
+	if nCtx < 1 {
+		nCtx = 1
+	}
+	e := &Engine{
+		cfg:     cfg,
+		clock:   clock,
+		events:  events,
+		mem:     mem,
+		ctxs:    make([]regContext, nCtx),
+		keys:    make([]uint64, nCtx),
+		pageMap: make(map[phys.Addr]phys.Addr),
+	}
+	e.seq.init(cfg.SeqLen)
+	return e, nil
+}
+
+// Name implements bus.Device.
+func (e *Engine) Name() string { return "telegraphos-nic" }
+
+// Config returns the engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Stats returns a snapshot of the counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// ResetStats zeroes the counters.
+func (e *Engine) ResetStats() { e.stats = Stats{} }
+
+// NumContexts returns the number of register contexts.
+func (e *Engine) NumContexts() int { return len(e.ctxs) }
+
+// SetKey installs the protection key for a register context (kernel
+// setup-time operation, ModeKeyed). Key 0 disables the context.
+func (e *Engine) SetKey(ctx int, key uint64) error {
+	if ctx < 0 || ctx >= len(e.keys) {
+		return fmt.Errorf("dma: context %d out of range", ctx)
+	}
+	e.keys[ctx] = key
+	return nil
+}
+
+// SetPIDTracking enables FLASH-style tracking: the engine discards a
+// pending half-initiation when the current PID changes (requires the
+// kernel's context-switch handler to write RegPID — the kernel
+// modification FLASH needs).
+func (e *Engine) SetPIDTracking(on bool) { e.pidTrk = on }
+
+// MapOut installs a SHRIMP-1 page mapping: DMA from srcPage always
+// targets dst (same offset). Kernel setup-time operation.
+func (e *Engine) MapOut(srcPage, dst phys.Addr) error {
+	if uint64(srcPage)%e.cfg.PageSize != 0 {
+		return fmt.Errorf("dma: MapOut source %v not page-aligned", srcPage)
+	}
+	e.pageMap[srcPage] = dst
+	return nil
+}
+
+// SetRemoteHandler attaches the cluster fabric.
+func (e *Engine) SetRemoteHandler(h RemoteHandler) { e.remote = h }
+
+// SetBusReserver attaches the bus the engine steals cycles from while
+// mastering transfers.
+func (e *Engine) SetBusReserver(r BusReserver) { e.reserver = r }
+
+// AbortPending discards any half-initiated user-level DMA. This is the
+// SHRIMP-2 kernel hook: "the operating system must invalidate any
+// partially initiated user-level DMA transfer on every context switch".
+func (e *Engine) AbortPending() {
+	if e.pending.valid {
+		e.pending.valid = false
+		e.stats.AbortedPending++
+	}
+	if e.seq.idx != 0 {
+		e.seq.reset()
+		e.stats.SeqResets++
+	}
+}
+
+// SetCurrentPID records the running process (the FLASH kernel hook
+// writes this at every context switch; also reachable via RegPID).
+func (e *Engine) SetCurrentPID(pid int) {
+	if e.pidTrk && e.pending.valid && e.pending.pid != pid {
+		e.pending.valid = false
+		e.stats.AbortedPending++
+	}
+	e.curPID = pid
+}
+
+// CurrentPID returns the engine's view of the running process.
+func (e *Engine) CurrentPID() int { return e.curPID }
+
+// LastTransfer returns the most recently started transfer, if any.
+func (e *Engine) LastTransfer() *Transfer { return e.last }
+
+// Transfers returns every transfer the engine accepted, in start order.
+// The attack studies use it as the ground truth of what actually moved.
+func (e *Engine) Transfers() []*Transfer { return e.log }
+
+// ContextTransfer returns the most recent transfer started through
+// register context ctx (nil if none). The kernel's blocking-wait
+// syscall uses it to find what a process is waiting on.
+func (e *Engine) ContextTransfer(ctx int) *Transfer {
+	if ctx < 0 || ctx >= len(e.ctxs) {
+		return nil
+	}
+	return e.ctxs[ctx].cur
+}
+
+// CheckInvariants validates the engine's internal consistency; soak
+// tests call it after a run (with events settled). It returns the first
+// violation found.
+func (e *Engine) CheckInvariants(now sim.Time) error {
+	if uint64(len(e.log)) != e.stats.Started {
+		return fmt.Errorf("dma: %d logged transfers vs %d started", len(e.log), e.stats.Started)
+	}
+	if e.stats.Completed > e.stats.Started {
+		return fmt.Errorf("dma: completed %d > started %d", e.stats.Completed, e.stats.Started)
+	}
+	var prevStart sim.Time
+	var bytes uint64
+	for i, t := range e.log {
+		if t.Failed {
+			return fmt.Errorf("dma: transfer %d in the accepted log is marked failed", i)
+		}
+		if t.End < t.Start {
+			return fmt.Errorf("dma: transfer %d ends (%v) before it starts (%v)", i, t.End, t.Start)
+		}
+		if t.Start < prevStart {
+			return fmt.Errorf("dma: transfer %d starts (%v) before its predecessor (%v)", i, t.Start, prevStart)
+		}
+		prevStart = t.Start
+		if t.End > e.xfer.busyUntil {
+			return fmt.Errorf("dma: transfer %d ends (%v) after busyUntil (%v)", i, t.End, e.xfer.busyUntil)
+		}
+		if now >= t.End {
+			if !t.delivered {
+				return fmt.Errorf("dma: transfer %d past End (%v <= %v) but not delivered", i, t.End, now)
+			}
+			bytes += t.Size
+		}
+	}
+	if e.stats.BytesMoved != bytes {
+		return fmt.Errorf("dma: BytesMoved %d vs %d summed from completed transfers", e.stats.BytesMoved, bytes)
+	}
+	return nil
+}
+
+// window classification -----------------------------------------------
+
+type window uint8
+
+const (
+	winNone window = iota
+	winShadow
+	winCtx
+	winControl
+	winAtomic
+	winRemote
+)
+
+func (e *Engine) classify(addr phys.Addr) (window, uint64) {
+	c := e.cfg
+	if off := uint64(addr) - uint64(c.ShadowBase); uint64(addr) >= uint64(c.ShadowBase) && off < c.ShadowWindowSize() {
+		return winShadow, off
+	}
+	if c.Contexts > 0 {
+		if off := uint64(addr) - uint64(c.CtxPageBase); uint64(addr) >= uint64(c.CtxPageBase) && off < c.CtxWindowSize() {
+			return winCtx, off
+		}
+	}
+	if off := uint64(addr) - uint64(c.ControlBase); uint64(addr) >= uint64(c.ControlBase) && off < c.PageSize {
+		return winControl, off
+	}
+	if off := uint64(addr) - uint64(c.AtomicBase); uint64(addr) >= uint64(c.AtomicBase) && off < c.AtomicWindowSize() {
+		return winAtomic, off
+	}
+	if c.RemoteBase != 0 {
+		if off := uint64(addr) - uint64(c.RemoteBase); uint64(addr) >= uint64(c.RemoteBase) && off < c.RemoteWindowSize() {
+			return winRemote, off
+		}
+	}
+	return winNone, 0
+}
+
+// Load implements bus.Device.
+func (e *Engine) Load(now sim.Time, addr phys.Addr, size phys.AccessSize) (uint64, int64, error) {
+	switch win, off := e.classify(addr); win {
+	case winShadow:
+		e.stats.ShadowLoads++
+		return e.shadowLoad(now, off)
+	case winCtx:
+		return e.ctxLoad(now, off)
+	case winControl:
+		return e.controlLoad(now, off)
+	case winAtomic:
+		// Plain loads in the atomic window read memory through the
+		// engine (useful for polling shared cells without local copies).
+		pa := phys.Addr(off & (1<<e.cfg.MemBits - 1))
+		v, err := e.mem.Read(pa, size)
+		return v, 0, err
+	case winRemote:
+		// Telegraphos-style remote WRITES are supported; remote reads
+		// would need a round trip the interface does not implement.
+		return 0, 0, fmt.Errorf("dma: remote reads are not supported (load at %v)", addr)
+	default:
+		return 0, 0, fmt.Errorf("dma: load at %v outside engine windows", addr)
+	}
+}
+
+// Store implements bus.Device.
+func (e *Engine) Store(now sim.Time, addr phys.Addr, size phys.AccessSize, val uint64) (int64, error) {
+	switch win, off := e.classify(addr); win {
+	case winShadow:
+		e.stats.ShadowStores++
+		return e.shadowStore(now, off, val)
+	case winCtx:
+		return e.ctxStore(now, off, val)
+	case winControl:
+		return e.controlStore(now, off, val)
+	case winAtomic:
+		return 0, fmt.Errorf("dma: plain store at %v in atomic window (use RMW)", addr)
+	case winRemote:
+		// A single-word remote write (the Telegraphos doorbell/flag
+		// primitive): forwarded to the fabric as a tiny payload.
+		if e.remote == nil {
+			return 0, fmt.Errorf("dma: remote write at %v with no fabric attached", addr)
+		}
+		node := int(off >> e.cfg.NodeShift)
+		raddr := phys.Addr(off & (1<<e.cfg.NodeShift - 1))
+		buf := make([]byte, size)
+		for i := range buf {
+			buf[i] = byte(val >> (8 * i))
+		}
+		e.stats.RemoteStarted++
+		return 0, e.remote.Deliver(node, raddr, buf, now)
+	default:
+		return 0, fmt.Errorf("dma: store at %v outside engine windows", addr)
+	}
+}
+
+// RMW implements bus.RMWDevice: atomic-window operations (§3.5) and the
+// ModeMappedOut compare-and-exchange initiation (§2.4).
+func (e *Engine) RMW(now sim.Time, addr phys.Addr, size phys.AccessSize, val uint64) (uint64, int64, error) {
+	switch win, off := e.classify(addr); win {
+	case winAtomic:
+		return e.atomicOp(off, size, val)
+	case winShadow:
+		if e.cfg.Mode == ModeMappedOut {
+			return e.mappedOutInitiate(now, off, val)
+		}
+		return 0, 0, fmt.Errorf("dma: RMW in shadow window unsupported in %v mode", e.cfg.Mode)
+	default:
+		return 0, 0, fmt.Errorf("dma: RMW at %v outside atomic window", addr)
+	}
+}
+
+// decodeShadow splits a shadow-window offset into (ctx, memory paddr).
+func (e *Engine) decodeShadow(off uint64) (int, phys.Addr) {
+	mask := uint64(1)<<e.cfg.MemBits - 1
+	ctx := 0
+	if e.cfg.Mode == ModeExtended {
+		ctx = int(off >> e.cfg.MemBits)
+	}
+	return ctx, phys.Addr(off & mask)
+}

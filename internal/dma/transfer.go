@@ -1,0 +1,228 @@
+package dma
+
+import (
+	"uldma/internal/phys"
+	"uldma/internal/sim"
+)
+
+// Transfer is one DMA data movement. The engine models transfers
+// analytically: the payload is snapshotted from the source when the
+// transfer is accepted, delivery happens as a scheduled event at the
+// computed completion time, and status reads interpolate the remaining
+// byte count in between. The engine is a single-channel device:
+// back-to-back transfers queue behind each other.
+type Transfer struct {
+	Src  phys.Addr
+	Dst  phys.Addr
+	Size uint64
+
+	// Start and End bound the data movement in simulated time (Start
+	// includes queueing behind an earlier transfer plus engine startup).
+	Start sim.Time
+	End   sim.Time
+
+	// Remote transfer fields: Node and RemoteAddr identify the
+	// destination on the cluster fabric.
+	Remote     bool
+	Node       int
+	RemoteAddr phys.Addr
+
+	// Failed marks a transfer that was rejected at validation time; it
+	// never moved data.
+	Failed bool
+
+	delivered bool
+}
+
+// Remaining returns the bytes still to move at time now: the paper's
+// register-context read value ("the number of bytes that need to be
+// transferred yet ... 0 means completed").
+func (t *Transfer) Remaining(now sim.Time) uint64 {
+	if t.Failed {
+		return StatusFailure
+	}
+	if now >= t.End || t.Size == 0 {
+		return 0
+	}
+	if now <= t.Start {
+		return t.Size
+	}
+	total := t.End - t.Start
+	left := t.End - now
+	rem := uint64(float64(t.Size) * float64(left) / float64(total))
+	if rem == 0 {
+		rem = 1 // not complete until End
+	}
+	if rem > t.Size {
+		rem = t.Size
+	}
+	return rem
+}
+
+// Done reports whether the payload has been delivered.
+func (t *Transfer) Done(now sim.Time) bool { return !t.Failed && now >= t.End }
+
+// busyUntil tracks the single-channel queueing (stored on the engine).
+type transferEngine struct {
+	busyUntil sim.Time
+}
+
+// validate checks a requested transfer against the engine's limits.
+func (e *Engine) validateTransfer(src, dst phys.Addr, size uint64) bool {
+	if e.cfg.MaxTransfer != 0 && size > e.cfg.MaxTransfer {
+		return false
+	}
+	if uint64(src)+size > e.cfg.MemSize || uint64(src) > e.cfg.MemSize {
+		return false // source must be local, fully in memory
+	}
+	if e.cfg.RemoteBase != 0 && dst >= e.cfg.RemoteBase {
+		if e.remote == nil {
+			return false
+		}
+		return true
+	}
+	if uint64(dst)+size > e.cfg.MemSize || uint64(dst) > e.cfg.MemSize {
+		return false
+	}
+	return true
+}
+
+// start accepts or rejects a transfer with the given physical
+// arguments. On acceptance the payload is snapshotted, the completion
+// event is scheduled, and the transfer becomes the engine's "last".
+func (e *Engine) start(now sim.Time, src, dst phys.Addr, size uint64) (*Transfer, bool) {
+	if !e.validateTransfer(src, dst, size) {
+		e.stats.Rejected++
+		e.last = &Transfer{Src: src, Dst: dst, Size: size, Failed: true, Start: now, End: now}
+		return e.last, false
+	}
+	begin := now
+	if e.xfer.busyUntil > begin {
+		begin = e.xfer.busyUntil
+	}
+	begin += e.cfg.StartupTime
+	duration := sim.Time(0)
+	if size > 0 {
+		duration = sim.Time(uint64(sim.Second) / e.cfg.Bandwidth * size)
+		if duration == 0 {
+			duration = sim.Nanosecond
+		}
+	}
+	t := &Transfer{Src: src, Dst: dst, Size: size, Start: begin, End: begin + duration}
+	if e.cfg.RemoteBase != 0 && dst >= e.cfg.RemoteBase {
+		t.Remote = true
+		off := uint64(dst - e.cfg.RemoteBase)
+		t.Node = int(off >> e.cfg.NodeShift)
+		t.RemoteAddr = phys.Addr(off & (1<<e.cfg.NodeShift - 1))
+		e.stats.RemoteStarted++
+	}
+	e.xfer.busyUntil = t.End
+	e.stats.Started++
+	e.last = t
+	e.log = append(e.log, t)
+	if e.reserver != nil && t.End > t.Start {
+		// The engine masters the bus while it streams: CPU traffic in
+		// this window pays contention.
+		e.reserver.ReserveDMA(t.Start, t.End)
+	}
+
+	// Snapshot the payload now: the engine reads the source as it
+	// streams; modelling the read at acceptance keeps results
+	// deterministic under concurrent CPU writes.
+	data, err := e.mem.ReadBytes(src, int(size))
+	if err != nil {
+		// validate() bounds-checked; failure here is a model bug.
+		panic(err)
+	}
+	e.schedule(t, data)
+	return t, true
+}
+
+// startCtx starts a transfer on behalf of register context ctx.
+func (e *Engine) startCtx(now sim.Time, ctx int, src, dst phys.Addr, size uint64) (*Transfer, bool) {
+	t, ok := e.start(now, src, dst, size)
+	if ok {
+		e.ctxs[ctx].cur = t
+	}
+	return t, ok
+}
+
+// transferChunk is the engine's burst size: local transfers become
+// visible in destination memory chunk by chunk as the stream
+// progresses, the way a real bus-mastering DMA lands its bursts.
+const transferChunk = 4096
+
+// schedule arranges delivery of the payload. Local transfers land in
+// transferChunk-sized pieces spread across [Start, End], each chunk
+// read from the source AT ITS BURST TIME (so a CPU store to a
+// not-yet-read part of the source is picked up, exactly as on real
+// hardware — and why well-behaved clients don't touch in-flight
+// buffers). Remote payloads are snapshotted per chunk too but handed to
+// the fabric as one message at End, where link serialization takes
+// over.
+func (e *Engine) schedule(t *Transfer, data []byte) {
+	finish := func() {
+		t.delivered = true
+		e.stats.Completed++
+		e.stats.BytesMoved += t.Size
+	}
+	if e.events == nil {
+		// Bare-engine tests: deliver eagerly in one piece.
+		if t.Remote {
+			if err := e.remote.Deliver(t.Node, t.RemoteAddr, data, t.End); err != nil {
+				t.Failed = true
+				return
+			}
+		} else if err := e.mem.WriteBytes(t.Dst, data); err != nil {
+			t.Failed = true
+			return
+		}
+		finish()
+		return
+	}
+	if t.Size == 0 {
+		e.events.Schedule(t.End, func(sim.Time) { finish() })
+		return
+	}
+	if t.Remote {
+		// Snapshot the whole payload at acceptance (the data slice) and
+		// ship it when the engine finishes streaming it out.
+		e.events.Schedule(t.End, func(at sim.Time) {
+			if err := e.remote.Deliver(t.Node, t.RemoteAddr, data, at); err != nil {
+				t.Failed = true
+				return
+			}
+			finish()
+		})
+		return
+	}
+	chunks := int((t.Size + transferChunk - 1) / transferChunk)
+	span := t.End - t.Start
+	for i := 0; i < chunks; i++ {
+		i := i
+		lo := uint64(i) * transferChunk
+		hi := lo + transferChunk
+		if hi > t.Size {
+			hi = t.Size
+		}
+		// Chunk i lands when its last byte has streamed.
+		at := t.Start + sim.Time(uint64(span)*hi/t.Size)
+		e.events.Schedule(at, func(sim.Time) {
+			if t.Failed {
+				return
+			}
+			chunk, err := e.mem.ReadBytes(t.Src+phys.Addr(lo), int(hi-lo))
+			if err != nil {
+				t.Failed = true
+				return
+			}
+			if err := e.mem.WriteBytes(t.Dst+phys.Addr(lo), chunk); err != nil {
+				t.Failed = true
+				return
+			}
+			if hi == t.Size {
+				finish()
+			}
+		})
+	}
+}

@@ -1,0 +1,153 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"uldma/internal/phys"
+	"uldma/internal/vm"
+)
+
+// Assemble parses a textual initiation sequence into a Program. The
+// attacksim tool uses it to let researchers script custom victim and
+// adversary sequences without recompiling.
+//
+// Grammar (one instruction per line or semicolon; '#' starts a comment;
+// case-insensitive mnemonics):
+//
+//	store <addr> <val>   posted store of <val>
+//	load  <addr>         load (value lands in the run's results)
+//	swap  <addr> <val>   atomic exchange
+//	mb                   memory barrier
+//
+// <addr> is a symbol resolved through the provided table (e.g. the
+// attack scenario maps "A", "B", "C", "FOO" to shadow addresses) or a
+// 0x-prefixed literal; <val> is decimal or 0x-hex.
+func Assemble(src string, symbols map[string]vm.VAddr) (Program, error) {
+	var prog Program
+	lineNo := 0
+	for _, rawLine := range strings.Split(src, "\n") {
+		lineNo++
+		for _, stmt := range strings.Split(rawLine, ";") {
+			if i := strings.IndexByte(stmt, '#'); i >= 0 {
+				stmt = stmt[:i]
+			}
+			fields := strings.Fields(stmt)
+			if len(fields) == 0 {
+				continue
+			}
+			ins, err := assembleOne(fields, symbols)
+			if err != nil {
+				return nil, fmt.Errorf("isa: line %d: %w", lineNo, err)
+			}
+			prog = append(prog, ins)
+		}
+	}
+	if len(prog) == 0 {
+		return nil, fmt.Errorf("isa: empty program")
+	}
+	return prog, nil
+}
+
+func assembleOne(fields []string, symbols map[string]vm.VAddr) (Instr, error) {
+	op := strings.ToLower(fields[0])
+	operands := fields[1:]
+	needAddr := func() (vm.VAddr, error) {
+		if len(operands) < 1 {
+			return 0, fmt.Errorf("%s needs an address operand", op)
+		}
+		return resolveAddr(operands[0], symbols)
+	}
+	needVal := func() (uint64, error) {
+		if len(operands) < 2 {
+			return 0, fmt.Errorf("%s needs a value operand", op)
+		}
+		return parseVal(operands[1])
+	}
+	switch op {
+	case "store", "s":
+		addr, err := needAddr()
+		if err != nil {
+			return Instr{}, err
+		}
+		val, err := needVal()
+		if err != nil {
+			return Instr{}, err
+		}
+		if len(operands) > 2 {
+			return Instr{}, fmt.Errorf("store takes exactly (addr, val)")
+		}
+		return Store(addr, phys.Size64, val, ""), nil
+	case "load", "l":
+		addr, err := needAddr()
+		if err != nil {
+			return Instr{}, err
+		}
+		if len(operands) > 1 {
+			return Instr{}, fmt.Errorf("load takes exactly (addr)")
+		}
+		return Load(addr, phys.Size64, ""), nil
+	case "swap", "x":
+		addr, err := needAddr()
+		if err != nil {
+			return Instr{}, err
+		}
+		val, err := needVal()
+		if err != nil {
+			return Instr{}, err
+		}
+		return Swap(addr, phys.Size64, val, ""), nil
+	case "mb":
+		if len(operands) != 0 {
+			return Instr{}, fmt.Errorf("mb takes no operands")
+		}
+		return MB(""), nil
+	default:
+		return Instr{}, fmt.Errorf("unknown mnemonic %q", fields[0])
+	}
+}
+
+func resolveAddr(tok string, symbols map[string]vm.VAddr) (vm.VAddr, error) {
+	if a, ok := symbols[tok]; ok {
+		return a, nil
+	}
+	if strings.HasPrefix(tok, "0x") || strings.HasPrefix(tok, "0X") {
+		v, err := strconv.ParseUint(tok[2:], 16, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad address literal %q", tok)
+		}
+		return vm.VAddr(v), nil
+	}
+	return 0, fmt.Errorf("unknown symbol %q (known: %s)", tok, symbolNames(symbols))
+}
+
+func parseVal(tok string) (uint64, error) {
+	base := 10
+	digits := tok
+	if strings.HasPrefix(tok, "0x") || strings.HasPrefix(tok, "0X") {
+		base, digits = 16, tok[2:]
+	}
+	v, err := strconv.ParseUint(digits, base, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad value %q", tok)
+	}
+	return v, nil
+}
+
+func symbolNames(symbols map[string]vm.VAddr) string {
+	names := make([]string, 0, len(symbols))
+	for n := range symbols {
+		names = append(names, n)
+	}
+	if len(names) == 0 {
+		return "none"
+	}
+	// Sort for stable error messages.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,575 @@
+// Package kernel models the operating system: the trap machinery whose
+// cost motivates the whole paper, the software virtual_to_physical
+// translation of Figure 1, and the setup-time services every user-level
+// DMA scheme needs (shadow mappings, register-context assignment, key
+// distribution, PAL-code installation).
+//
+// The crucial boundary the paper draws runs through this package:
+//
+//   - Setup-time work (mmap of shadow pages, handing out keys and
+//     register contexts, installing PAL routines) happens once, through
+//     ordinary kernel interfaces — no kernel modification.
+//   - The SHRIMP-2 and FLASH schemes additionally need a context-switch
+//     hook; those are the EnableSHRIMP2Hook / EnableFLASHHook methods,
+//     explicitly marked as the kernel modifications the paper's own
+//     methods ("Key-based", "Extended Shadow", "Repeated Passing",
+//     "PAL code") never call.
+package kernel
+
+import (
+	"fmt"
+
+	"uldma/internal/cpu"
+	"uldma/internal/dma"
+	"uldma/internal/phys"
+	"uldma/internal/proc"
+	"uldma/internal/sim"
+	"uldma/internal/vm"
+)
+
+// Syscall numbers.
+const (
+	// SysNull is an empty system call: trap in, trap out. It is the
+	// lmbench-style baseline the paper cites at 1,000-5,000 cycles.
+	SysNull = iota
+	// SysDMA is Figure 1: translate both addresses, check the range,
+	// program the engine's control registers, read back the status.
+	SysDMA
+	// SysAtomic performs an atomic operation through the kernel (the
+	// expensive baseline §3.5 argues against). Args: op, vaddr, operand.
+	SysAtomic
+	// SysDMAStatus reads the engine's status register: bytes remaining
+	// in the most recent transfer (or StatusFailure). It is how a
+	// kernel-DMA client polls for completion.
+	SysDMAStatus
+	// SysDMAWait blocks the calling process until its outstanding
+	// transfer completes (the process's register-context transfer, or
+	// the engine's last transfer for the kernel path). The process is
+	// descheduled; it wakes after completion plus the interrupt-and-
+	// reschedule overhead. Returns 0, or StatusFailure when there is
+	// nothing to wait on.
+	SysDMAWait
+	// SysWaitWrite blocks the calling process until remote data arrives
+	// in the page containing the given virtual address (the NIC's
+	// receive interrupt). Args: vaddr. The caller re-checks its mailbox
+	// on return — spurious wakeups are allowed, lost wakeups are not.
+	SysWaitWrite
+)
+
+// InterruptWakeupCycles models completion-interrupt delivery plus the
+// scheduler putting the sleeping process back on the CPU.
+const InterruptWakeupCycles = 800
+
+// Virtual-address layout conventions. The kernel places shadow and
+// device mappings at fixed offsets from the data addresses they mirror,
+// so user libraries can compute shadow(v) without a lookup — mirroring
+// how the real system precomputed shadow pointers at mmap time.
+const (
+	// ShadowVABase: shadow(v) = ShadowVABase + v.
+	ShadowVABase vm.VAddr = 0x1_0000_0000
+	// AtomicVABase: atomicShadow(v, op) = AtomicVABase + op<<32 + v.
+	AtomicVABase vm.VAddr = 0x10_0000_0000
+	// CtxPageVA is where a process's register-context page is mapped.
+	CtxPageVA vm.VAddr = 0xC000_0000
+)
+
+// ShadowVA returns the user virtual address aliasing va's shadow page.
+func ShadowVA(va vm.VAddr) vm.VAddr { return ShadowVABase + va }
+
+// AtomicVA returns the user virtual address performing atomic op on va.
+func AtomicVA(va vm.VAddr, op int) vm.VAddr {
+	return AtomicVABase + vm.VAddr(uint64(op)<<32) + va
+}
+
+// Config sets the kernel cost model (CPU cycles).
+type Config struct {
+	// SyscallEntryCycles / SyscallExitCycles are the trap overheads;
+	// their sum is the empty-syscall cost (lmbench band: 1,000-5,000).
+	SyscallEntryCycles int64
+	SyscallExitCycles  int64
+	// TranslateCycles is one software virtual_to_physical, including the
+	// access-rights check.
+	TranslateCycles int64
+	// CheckSizeCycles is Figure 1's check_size of the whole transfer
+	// range.
+	CheckSizeCycles int64
+	// KeySeed seeds DMA-key generation (deterministic per machine).
+	KeySeed uint64
+	// UserFrameBase is where the physical frame allocator starts.
+	UserFrameBase phys.Addr
+}
+
+// Stats counts kernel activity.
+type Stats struct {
+	Syscalls    uint64
+	DMASyscalls uint64
+	Faults      uint64
+}
+
+// Kernel is one node's operating system.
+type Kernel struct {
+	cfg    Config
+	cpu    *cpu.CPU
+	mem    *phys.Memory
+	engine *dma.Engine
+	runner *proc.Runner
+
+	rng       *sim.Rand
+	nextASID  int
+	nextFrame phys.Addr
+
+	ctxOwner []proc.PID // register context -> owning process (0 = free)
+	keys     []uint64   // keys handed out per context (keyed mode)
+	procCtx  map[proc.PID]int
+
+	shrimp2Hook bool
+	flashHook   bool
+	watches     []writeWatch
+	stats       Stats
+}
+
+// writeWatch is one process sleeping until remote data lands in a
+// physical range.
+type writeWatch struct {
+	lo, hi phys.Addr
+	p      *proc.Process
+}
+
+// New boots a kernel on the given hardware. It installs itself as the
+// runner's syscall handler.
+func New(cfg Config, c *cpu.CPU, mem *phys.Memory, engine *dma.Engine, runner *proc.Runner) *Kernel {
+	k := &Kernel{
+		cfg:       cfg,
+		cpu:       c,
+		mem:       mem,
+		engine:    engine,
+		runner:    runner,
+		rng:       sim.NewRand(cfg.KeySeed ^ 0x9b1ee5c0ffee),
+		nextASID:  1,
+		nextFrame: cfg.UserFrameBase,
+		ctxOwner:  make([]proc.PID, engine.NumContexts()),
+		keys:      make([]uint64, engine.NumContexts()),
+		procCtx:   make(map[proc.PID]int),
+	}
+	runner.SetSyscallHandler(k)
+	// Ordinary process teardown (not a context-switch modification):
+	// reclaim the register context and key when a process exits.
+	runner.AddExitHook(func(p *proc.Process) { k.ReleaseContext(p) })
+	return k
+}
+
+// Stats returns a snapshot of the counters.
+func (k *Kernel) Stats() Stats { return k.stats }
+
+// Engine returns the DMA engine the kernel manages.
+func (k *Kernel) Engine() *dma.Engine { return k.engine }
+
+// PageSize returns the system page size.
+func (k *Kernel) PageSize() uint64 { return k.engine.Config().PageSize }
+
+// NewAddressSpace creates a fresh address space with a unique ASID.
+func (k *Kernel) NewAddressSpace() *vm.AddressSpace {
+	as := vm.NewAddressSpace(k.nextASID, k.PageSize())
+	k.nextASID++
+	return as
+}
+
+// AllocPage allocates a physical frame and maps it at va with prot.
+// It returns the frame so tests can inspect physical contents.
+func (k *Kernel) AllocPage(as *vm.AddressSpace, va vm.VAddr, prot vm.Prot) (phys.Addr, error) {
+	frame := k.nextFrame
+	if uint64(frame)+k.PageSize() > uint64(k.mem.Size()) {
+		return 0, fmt.Errorf("kernel: out of physical memory at %v", frame)
+	}
+	k.nextFrame += phys.Addr(k.PageSize())
+	if err := as.Map(va, frame, prot); err != nil {
+		return 0, err
+	}
+	return frame, nil
+}
+
+// MapFrame maps an existing physical frame (shared memory, device page)
+// at va.
+func (k *Kernel) MapFrame(as *vm.AddressSpace, va vm.VAddr, frame phys.Addr, prot vm.Prot) error {
+	return as.Map(va, frame, prot)
+}
+
+// MapShadow creates the shadow alias for the already-mapped page at va:
+// ShadowVA(va) -> engine shadow window encoding of the page's frame
+// (with the process's context id burned into the address bits in
+// extended mode). The shadow page inherits the real page's protection —
+// a process can only pass physical addresses it could access anyway.
+// This is the once-per-page setup cost of every user-level scheme.
+func (k *Kernel) MapShadow(p *proc.Process, va vm.VAddr) error {
+	as := p.AddressSpace()
+	base := as.PageBase(va)
+	pte, ok := as.Lookup(base)
+	if !ok {
+		return fmt.Errorf("kernel: MapShadow: %v not mapped", va)
+	}
+	ctx := 0
+	if c, ok := k.procCtx[p.PID()]; ok {
+		ctx = c
+	}
+	cfg := k.engine.Config()
+	prot := pte.Prot
+	if cfg.RemoteBase != 0 && pte.Frame >= cfg.RemoteBase {
+		// Remote pages are write-only (the fabric has no remote reads),
+		// but their shadow alias must also be loadable: protocol status
+		// loads on shadow(dst) — e.g. the 5th access of repeated
+		// passing — read engine state, never remote data.
+		prot = vm.Read | vm.Write
+	}
+	return as.Map(ShadowVA(base), cfg.Shadow(pte.Frame, ctx), prot)
+}
+
+// MapAtomic creates the atomic-operation aliases for the page at va:
+// one mapping per operation code. Local pages need read+write; remote
+// pages (which are write-only by construction) need only write — the
+// read half of the RMW happens on the remote node, not through the
+// local mapping.
+func (k *Kernel) MapAtomic(p *proc.Process, va vm.VAddr) error {
+	as := p.AddressSpace()
+	base := as.PageBase(va)
+	pte, ok := as.Lookup(base)
+	if !ok {
+		return fmt.Errorf("kernel: MapAtomic: %v not mapped", va)
+	}
+	need := vm.Read | vm.Write
+	if cfg := k.engine.Config(); cfg.RemoteBase != 0 && pte.Frame >= cfg.RemoteBase {
+		need = vm.Write
+	}
+	if !pte.Prot.Can(need) {
+		return fmt.Errorf("kernel: MapAtomic: %v needs %v", va, need)
+	}
+	for _, op := range []int{dma.AtomicAdd, dma.AtomicSwap, dma.AtomicCAS} {
+		pa := k.engine.Config().AtomicShadow(pte.Frame, op)
+		if err := as.Map(AtomicVA(base, op), pa, vm.Read|vm.Write); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MaterializeTable encodes p's current mappings as a hardware-walkable
+// three-level page table in physical memory, allocating table pages
+// from the kernel's frame pool. Debuggers and the calibration tests use
+// it; the simulator itself executes against the architectural map.
+func (k *Kernel) MaterializeTable(p *proc.Process) (*vm.MaterializedTable, error) {
+	alloc := func() (phys.Addr, error) {
+		frame := k.nextFrame
+		if uint64(frame)+k.PageSize() > uint64(k.mem.Size()) {
+			return 0, fmt.Errorf("kernel: out of physical memory for page tables")
+		}
+		k.nextFrame += phys.Addr(k.PageSize())
+		return frame, nil
+	}
+	return vm.Materialize(p.AddressSpace(), k.mem, alloc)
+}
+
+// MapRemote maps the page at va in p's address space onto another
+// node's memory window: node's physical page at remoteOff. Stores to
+// the page become single-word remote writes through the NIC; the page's
+// shadow alias (create it with MapShadow afterwards) names the remote
+// page as a DMA destination. Remote pages are write-only — the fabric
+// does not implement remote reads.
+func (k *Kernel) MapRemote(p *proc.Process, va vm.VAddr, node int, remoteOff phys.Addr) error {
+	cfg := k.engine.Config()
+	if cfg.RemoteBase == 0 {
+		return fmt.Errorf("kernel: machine has no remote window")
+	}
+	if uint64(remoteOff)%k.PageSize() != 0 {
+		return fmt.Errorf("kernel: MapRemote offset %v not page-aligned", remoteOff)
+	}
+	pa := cfg.RemoteAddr(node, remoteOff)
+	if uint64(pa) >= 1<<cfg.MemBits {
+		return fmt.Errorf("kernel: node %d offset %v exceeds the remote window", node, remoteOff)
+	}
+	return p.AddressSpace().Map(va, pa, vm.Write)
+}
+
+// AssignContext reserves a DMA register context for p, maps the
+// context's page into p's address space at CtxPageVA (keyed mode), and
+// returns (ctx, key). In extended mode the key is zero and only the
+// context id matters — it is burned into subsequent MapShadow calls. If
+// every context is taken the process must fall back to kernel-level DMA,
+// exactly as §3.2 prescribes.
+func (k *Kernel) AssignContext(p *proc.Process) (int, uint64, error) {
+	if c, ok := k.procCtx[p.PID()]; ok {
+		return c, k.keys[c], nil // idempotent
+	}
+	for ctx := range k.ctxOwner {
+		if k.ctxOwner[ctx] != 0 {
+			continue
+		}
+		k.ctxOwner[ctx] = p.PID()
+		k.procCtx[p.PID()] = ctx
+		if k.engine.Config().Mode == dma.ModeKeyed {
+			key := k.rng.Uint64()>>dma.KeyShift | 1 // non-zero ~56-bit key
+			k.keys[ctx] = key
+			if err := k.engine.SetKey(ctx, key); err != nil {
+				return 0, 0, err
+			}
+			// The register-context page is mapped into this process
+			// only: possession of the mapping is the access right.
+			ctxPA := k.engine.Config().CtxPage(ctx)
+			if err := p.AddressSpace().Map(CtxPageVA, ctxPA, vm.Read|vm.Write); err != nil {
+				return 0, 0, err
+			}
+		}
+		return ctx, k.keys[ctx], nil
+	}
+	return 0, 0, fmt.Errorf("kernel: no free DMA register context (have %d)", len(k.ctxOwner))
+}
+
+// ReleaseContext frees p's register context at process exit.
+func (k *Kernel) ReleaseContext(p *proc.Process) {
+	ctx, ok := k.procCtx[p.PID()]
+	if !ok {
+		return
+	}
+	delete(k.procCtx, p.PID())
+	k.ctxOwner[ctx] = 0
+	k.keys[ctx] = 0
+	if k.engine.Config().Mode == dma.ModeKeyed {
+		k.engine.SetKey(ctx, 0)
+	}
+}
+
+// ContextOf returns the register context assigned to p, if any.
+func (k *Kernel) ContextOf(p *proc.Process) (int, bool) {
+	c, ok := k.procCtx[p.PID()]
+	return c, ok
+}
+
+// MapOut installs a SHRIMP-1 page mapping after checking the process
+// owns the source page.
+func (k *Kernel) MapOut(p *proc.Process, srcVA vm.VAddr, dstPA phys.Addr) error {
+	as := p.AddressSpace()
+	base := as.PageBase(srcVA)
+	pte, ok := as.Lookup(base)
+	if !ok || !pte.Prot.Can(vm.Read|vm.Write) {
+		return fmt.Errorf("kernel: MapOut: %v not owned read+write", srcVA)
+	}
+	return k.engine.MapOut(pte.Frame, dstPA)
+}
+
+// --- kernel modifications required by PRIOR work (comparators only) ---
+
+// EnableSHRIMP2Hook adds the context-switch invalidation SHRIMP-2
+// requires: "the operating system must invalidate any partially
+// initiated user-level DMA transfer on every context switch". Calling
+// this models shipping an OS patch — the paper's methods never need it.
+func (k *Kernel) EnableSHRIMP2Hook() {
+	if k.shrimp2Hook {
+		return
+	}
+	k.shrimp2Hook = true
+	k.runner.AddSwitchHook(func(_, _ *proc.Process) {
+		k.engine.AbortPending()
+	})
+}
+
+// EnableFLASHHook adds FLASH's context-switch hook: the kernel informs
+// the engine of the running process's identity at every switch.
+func (k *Kernel) EnableFLASHHook() {
+	if k.flashHook {
+		return
+	}
+	k.flashHook = true
+	k.engine.SetPIDTracking(true)
+	k.runner.AddSwitchHook(func(_, to *proc.Process) {
+		k.engine.SetCurrentPID(int(to.PID()))
+	})
+}
+
+// KernelModified reports whether either prior-work hook is installed —
+// the property the paper's methods keep false.
+func (k *Kernel) KernelModified() bool { return k.shrimp2Hook || k.flashHook }
+
+// --- PAL code (§2.7) ---
+
+// PALUserDMA is the name of the installed user-level DMA PAL call.
+const PALUserDMA = "user_level_dma"
+
+// InstallPALDMA installs the user_level_dma PAL routine: the two-access
+// shadow sequence executed uninterrupted in PAL mode. A super-user
+// installs it once; afterwards any process may invoke it — no kernel
+// modification involved.
+func (k *Kernel) InstallPALDMA() {
+	k.runner.InstallPAL(PALUserDMA, func(p *proc.Process, args []uint64) (uint64, error) {
+		if len(args) != 3 {
+			return dma.StatusFailure, fmt.Errorf("kernel: %s wants (vsrc, vdst, size)", PALUserDMA)
+		}
+		vsrc, vdst, size := vm.VAddr(args[0]), vm.VAddr(args[1]), args[2]
+		as := p.AddressSpace()
+		// STORE size TO shadow(vdestination)
+		if err := k.cpu.Store(as, ShadowVA(vdst), phys.Size64, size); err != nil {
+			return dma.StatusFailure, err
+		}
+		// LOAD return_status FROM shadow(vsource)
+		return k.cpu.Load(as, ShadowVA(vsrc), phys.Size64)
+	})
+}
+
+// --- syscall dispatch ---
+
+// Syscall implements proc.SyscallHandler: Figure 1's uninterruptible
+// kernel path, with the trap costs charged explicitly.
+func (k *Kernel) Syscall(p *proc.Process, num int, args []uint64) (uint64, error) {
+	k.stats.Syscalls++
+	k.cpu.Spin(k.cfg.SyscallEntryCycles)
+	ret, err := k.dispatch(p, num, args)
+	k.cpu.Spin(k.cfg.SyscallExitCycles)
+	return ret, err
+}
+
+func (k *Kernel) dispatch(p *proc.Process, num int, args []uint64) (uint64, error) {
+	switch num {
+	case SysNull:
+		return 0, nil
+	case SysDMA:
+		if len(args) != 3 {
+			return dma.StatusFailure, fmt.Errorf("kernel: SysDMA wants (vsrc, vdst, size)")
+		}
+		return k.sysDMA(p, vm.VAddr(args[0]), vm.VAddr(args[1]), args[2])
+	case SysAtomic:
+		if len(args) != 3 {
+			return 0, fmt.Errorf("kernel: SysAtomic wants (op, vaddr, operand)")
+		}
+		return k.sysAtomic(p, int(args[0]), vm.VAddr(args[1]), args[2])
+	case SysDMAStatus:
+		return k.cpu.PhysLoad(k.engine.Config().ControlBase+dma.RegStatus, phys.Size64)
+	case SysDMAWait:
+		return k.sysDMAWait(p)
+	case SysWaitWrite:
+		if len(args) != 1 {
+			return 0, fmt.Errorf("kernel: SysWaitWrite wants (vaddr)")
+		}
+		return k.sysWaitWrite(p, vm.VAddr(args[0]))
+	default:
+		return 0, fmt.Errorf("kernel: unknown syscall %d", num)
+	}
+}
+
+// sysDMA is Figure 1 verbatim.
+func (k *Kernel) sysDMA(p *proc.Process, vsrc, vdst vm.VAddr, size uint64) (uint64, error) {
+	k.stats.DMASyscalls++
+	as := p.AddressSpace()
+
+	// psource = virtual_to_physical(vsource)
+	k.cpu.Spin(k.cfg.TranslateCycles)
+	psrc, err := as.Translate(vsrc, vm.AccessLoad)
+	if err != nil {
+		k.stats.Faults++
+		return dma.StatusFailure, err
+	}
+	// pdestination = virtual_to_physical(vdestination)
+	k.cpu.Spin(k.cfg.TranslateCycles)
+	pdst, err := as.Translate(vdst, vm.AccessStore)
+	if err != nil {
+		k.stats.Faults++
+		return dma.StatusFailure, err
+	}
+	// check_size(): protection over the whole transfer range.
+	k.cpu.Spin(k.cfg.CheckSizeCycles)
+	if err := as.CheckRange(vsrc, size, vm.AccessLoad); err != nil {
+		k.stats.Faults++
+		return dma.StatusFailure, err
+	}
+	if err := as.CheckRange(vdst, size, vm.AccessStore); err != nil {
+		k.stats.Faults++
+		return dma.StatusFailure, err
+	}
+
+	// STORE psource TO DMA_SOURCE … LOAD status FROM DMA_STATUS.
+	ctl := k.engine.Config().ControlBase
+	if err := k.cpu.PhysStore(ctl+dma.RegSource, phys.Size64, uint64(psrc)); err != nil {
+		return dma.StatusFailure, err
+	}
+	if err := k.cpu.PhysStore(ctl+dma.RegDest, phys.Size64, uint64(pdst)); err != nil {
+		return dma.StatusFailure, err
+	}
+	if err := k.cpu.PhysStore(ctl+dma.RegSize, phys.Size64, size); err != nil {
+		return dma.StatusFailure, err
+	}
+	return k.cpu.PhysLoad(ctl+dma.RegStatus, phys.Size64)
+}
+
+// sysDMAWait puts the caller to sleep until its outstanding transfer
+// completes: the blocking alternative to status polling. The wakeup
+// time is the transfer's completion plus interrupt delivery and
+// rescheduling; while asleep, other processes get the CPU.
+func (k *Kernel) sysDMAWait(p *proc.Process) (uint64, error) {
+	var t *dma.Transfer
+	if ctx, ok := k.procCtx[p.PID()]; ok {
+		t = k.engine.ContextTransfer(ctx)
+	}
+	if t == nil {
+		t = k.engine.LastTransfer()
+	}
+	if t == nil || t.Failed {
+		return dma.StatusFailure, nil
+	}
+	now := k.cpu.Clock().Now()
+	if t.Done(now) {
+		return 0, nil
+	}
+	wake := t.End + k.cpu.Config().Freq.Cycles(InterruptWakeupCycles)
+	p.BlockUntil(wake)
+	return 0, nil
+}
+
+// sysWaitWrite registers a receive-interrupt watch on the page holding
+// va and puts the caller to sleep until the fabric delivers into it.
+func (k *Kernel) sysWaitWrite(p *proc.Process, va vm.VAddr) (uint64, error) {
+	as := p.AddressSpace()
+	base := as.PageBase(va)
+	pte, ok := as.Lookup(base)
+	if !ok {
+		k.stats.Faults++
+		return dma.StatusFailure, &vm.Fault{VA: va, Access: vm.AccessLoad, Kind: vm.FaultUnmapped, ASID: as.ASID()}
+	}
+	k.watches = append(k.watches, writeWatch{
+		lo: pte.Frame,
+		hi: pte.Frame + phys.Addr(k.PageSize()),
+		p:  p,
+	})
+	p.BlockUntil(sim.Never)
+	return 0, nil
+}
+
+// NotifyRemoteWrite is the NIC receive-interrupt path: the fabric calls
+// it after delivering payload into [addr, addr+n). Every watcher of an
+// overlapping range is woken (after interrupt + reschedule overhead)
+// and its watch removed.
+func (k *Kernel) NotifyRemoteWrite(addr phys.Addr, n int) {
+	if len(k.watches) == 0 {
+		return
+	}
+	now := k.cpu.Clock().Now()
+	wake := now + k.cpu.Config().Freq.Cycles(InterruptWakeupCycles)
+	end := addr + phys.Addr(n)
+	kept := k.watches[:0]
+	for _, w := range k.watches {
+		if addr < w.hi && end > w.lo {
+			w.p.Wake(wake)
+			continue
+		}
+		kept = append(kept, w)
+	}
+	k.watches = kept
+}
+
+// sysAtomic performs an engine atomic operation from kernel mode — the
+// costly baseline user-level atomics replace.
+func (k *Kernel) sysAtomic(p *proc.Process, op int, va vm.VAddr, operand uint64) (uint64, error) {
+	k.cpu.Spin(k.cfg.TranslateCycles)
+	pa, err := p.AddressSpace().Translate(va, vm.AccessRMW)
+	if err != nil {
+		k.stats.Faults++
+		return 0, err
+	}
+	target := k.engine.Config().AtomicShadow(pa, op)
+	return k.cpu.PhysSwap(target, phys.Size64, operand)
+}

@@ -1,0 +1,233 @@
+// Package net is the cluster substrate: it connects several machine
+// instances into a Network of Workstations (the paper's deployment
+// context) with a point-to-point fabric modelled after the Telegraphos
+// switch — fixed per-hop latency plus serialization at link bandwidth.
+//
+// Every node's DMA engine hands remote payloads (whole DMA transfers or
+// single-word remote writes) to the Fabric, which schedules delivery
+// into the destination node's physical memory on the cluster's shared
+// event queue. All nodes share one simulated clock, so causality across
+// nodes is exact: a receiver polling its memory sees a flag no earlier
+// than initiation + transfer + link time.
+package net
+
+import (
+	"fmt"
+
+	"uldma/internal/dma"
+	"uldma/internal/machine"
+	"uldma/internal/phys"
+	"uldma/internal/proc"
+	"uldma/internal/sim"
+)
+
+// LinkConfig models one hop of the interconnect.
+type LinkConfig struct {
+	// Latency is the fixed per-message delay (switching + wire).
+	Latency sim.Time
+	// Bandwidth is the serialization rate in bytes/second.
+	Bandwidth uint64
+}
+
+// Gigabit returns a mid-90s "Gigabit LAN" link: ~1 µs switch latency,
+// 1 Gbit/s serialization — the class of network whose rise motivates
+// the paper.
+func Gigabit() LinkConfig {
+	return LinkConfig{Latency: sim.Microsecond, Bandwidth: 125_000_000}
+}
+
+// ATM155 returns the paper's "common today" comparison point: a 155
+// Mbit/s ATM link.
+func ATM155() LinkConfig {
+	return LinkConfig{Latency: 10 * sim.Microsecond, Bandwidth: 19_375_000}
+}
+
+// FabricStats counts fabric traffic.
+type FabricStats struct {
+	Messages  uint64
+	Bytes     uint64
+	Dropped   uint64 // deliveries refused (bad node or address)
+	RemoteMax int    // highest node id addressed
+}
+
+// Cluster is a set of machines on a shared clock, connected by a
+// Fabric.
+type Cluster struct {
+	Clock  *sim.Clock
+	Events *sim.EventQueue
+	Nodes  []*machine.Machine
+	Fabric *Fabric
+}
+
+// NewCluster builds n nodes from cfg and wires their engines to a
+// shared fabric. n must fit the machine's remote window.
+func NewCluster(n int, cfg machine.Config, link LinkConfig) (*Cluster, error) {
+	if n < 1 || n > machine.MaxNodes {
+		return nil, fmt.Errorf("net: cluster size %d out of range 1..%d", n, machine.MaxNodes)
+	}
+	if link.Bandwidth == 0 {
+		return nil, fmt.Errorf("net: zero link bandwidth")
+	}
+	clock := sim.NewClock()
+	events := sim.NewEventQueue()
+	c := &Cluster{Clock: clock, Events: events}
+	c.Fabric = &Fabric{cluster: c, link: link}
+	for i := 0; i < n; i++ {
+		m, err := machine.NewWithClock(cfg, clock, events)
+		if err != nil {
+			return nil, fmt.Errorf("net: node %d: %w", i, err)
+		}
+		m.NodeID = i
+		m.Engine.SetRemoteHandler(c.Fabric)
+		c.Nodes = append(c.Nodes, m)
+	}
+	return c, nil
+}
+
+// MustNewCluster is NewCluster that panics on error.
+func MustNewCluster(n int, cfg machine.Config, link LinkConfig) *Cluster {
+	c, err := NewCluster(n, cfg, link)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Run interleaves every node's scheduler, one instruction slot per node
+// per round, until all processes on all nodes finish or the slot budget
+// runs out. Per-node policies keep each node's scheduling independent.
+func (c *Cluster) Run(policies []proc.Policy, maxSlots uint64) error {
+	if len(policies) != len(c.Nodes) {
+		return fmt.Errorf("net: %d policies for %d nodes", len(policies), len(c.Nodes))
+	}
+	granted := uint64(0)
+	for {
+		progress := false
+		for i, m := range c.Nodes {
+			if granted >= maxSlots {
+				return fmt.Errorf("net: cluster slot budget (%d) exhausted", maxSlots)
+			}
+			if m.Runner.StepPolicy(policies[i]) {
+				progress = true
+				granted++
+			}
+		}
+		if !progress {
+			// No node has a runnable process. If any process is merely
+			// blocked, advance shared idle time to the earliest wakeup
+			// or pending event; otherwise everything finished.
+			earliest := sim.Never
+			blocked := false
+			for _, m := range c.Nodes {
+				if t, ok := m.Runner.EarliestWakeup(); ok {
+					blocked = true
+					if t < earliest {
+						earliest = t
+					}
+				}
+			}
+			if !blocked {
+				return nil
+			}
+			if next := c.Events.NextAt(); next < earliest {
+				earliest = next
+			}
+			if earliest == sim.Never {
+				return proc.ErrDeadlock
+			}
+			c.Clock.AdvanceTo(earliest)
+			c.Events.RunUntil(c.Clock.Now())
+		}
+	}
+}
+
+// RunRoundRobin runs every node under a quantum-q round-robin policy.
+func (c *Cluster) RunRoundRobin(q int, maxSlots uint64) error {
+	policies := make([]proc.Policy, len(c.Nodes))
+	for i := range policies {
+		policies[i] = proc.NewRoundRobin(q)
+	}
+	return c.Run(policies, maxSlots)
+}
+
+// Settle fires all outstanding events (in-flight transfers and
+// deliveries) and advances the shared clock past the last one.
+func (c *Cluster) Settle() sim.Time {
+	t := c.Events.Drain(c.Clock.Now())
+	c.Clock.AdvanceTo(t)
+	return c.Clock.Now()
+}
+
+// Fabric is the interconnect: it implements dma.RemoteHandler for every
+// node's engine. Delivery into one node is FIFO: a message cannot
+// overtake an earlier message to the same node (the wire serializes).
+type Fabric struct {
+	cluster  *Cluster
+	link     LinkConfig
+	lastInto map[int]sim.Time // per-destination FIFO point
+	stats    FabricStats
+}
+
+// Stats returns a snapshot of the counters.
+func (f *Fabric) Stats() FabricStats { return f.stats }
+
+// RMWRemote implements dma.RemoteAtomicHandler: an atomic operation on
+// another node's memory. The issuing CPU stalls for the full round trip
+// (request latency + operation + reply latency), accounted on the
+// shared clock here.
+func (f *Fabric) RMWRemote(node int, addr phys.Addr, op int, size phys.AccessSize, val uint64) (uint64, error) {
+	if node < 0 || node >= len(f.cluster.Nodes) {
+		f.stats.Dropped++
+		return 0, fmt.Errorf("net: remote atomic to nonexistent node %d", node)
+	}
+	// Request travels, the remote engine applies the operation, the
+	// reply travels back.
+	f.cluster.Clock.Advance(2 * f.link.Latency)
+	f.stats.Messages += 2
+	f.stats.Bytes += 16 // request + reply words
+	old, err := dma.ApplyAtomic(f.cluster.Nodes[node].Mem, addr, op, size, val)
+	if err != nil {
+		f.stats.Dropped++
+		return 0, err
+	}
+	return old, nil
+}
+
+// Deliver implements dma.RemoteHandler: the payload arrives in the
+// destination node's memory after link latency plus serialization.
+func (f *Fabric) Deliver(node int, addr phys.Addr, data []byte, at sim.Time) error {
+	if node < 0 || node >= len(f.cluster.Nodes) {
+		f.stats.Dropped++
+		return fmt.Errorf("net: delivery to nonexistent node %d", node)
+	}
+	dst := f.cluster.Nodes[node]
+	if uint64(addr)+uint64(len(data)) > uint64(dst.Mem.Size()) {
+		f.stats.Dropped++
+		return fmt.Errorf("net: delivery to node %d at %v overruns its memory", node, addr)
+	}
+	f.stats.Messages++
+	f.stats.Bytes += uint64(len(data))
+	if node > f.stats.RemoteMax {
+		f.stats.RemoteMax = node
+	}
+	arrive := at + f.link.Latency +
+		sim.Time(uint64(len(data))*uint64(sim.Second)/f.link.Bandwidth)
+	if f.lastInto == nil {
+		f.lastInto = make(map[int]sim.Time)
+	}
+	if prev := f.lastInto[node]; arrive < prev {
+		arrive = prev // FIFO: no overtaking into the same node
+	}
+	f.lastInto[node] = arrive
+	payload := append([]byte(nil), data...)
+	f.cluster.Events.Schedule(arrive, func(sim.Time) {
+		// Memory size was checked at send time; a failure here is a
+		// model bug.
+		if err := dst.Mem.WriteBytes(addr, payload); err != nil {
+			panic(err)
+		}
+		// Receive interrupt: wake any process sleeping on this range.
+		dst.Kernel.NotifyRemoteWrite(addr, len(payload))
+	})
+	return nil
+}

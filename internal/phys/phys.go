@@ -1,0 +1,207 @@
+// Package phys models the physical (main) memory of a simulated
+// workstation: a flat array of bytes addressed by physical address.
+//
+// DMA engines, the MMU page-table walker, and CPU cached accesses all
+// resolve to reads and writes on this memory. Devices (including the DMA
+// engine's register windows) live elsewhere in the physical address map
+// and are decoded by the bus, not by this package.
+package phys
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Addr is a physical byte address. The simulated machines use a 34-bit
+// physical address space (as the Alpha 21064 did externally): low
+// addresses are main memory, high addresses are I/O windows including the
+// DMA engine's shadow space.
+type Addr uint64
+
+// String formats the address in hex.
+func (a Addr) String() string { return fmt.Sprintf("%#x", uint64(a)) }
+
+// AccessSize is the width of a single memory or bus access in bytes.
+type AccessSize int
+
+// Supported access widths.
+const (
+	Size8  AccessSize = 1
+	Size16 AccessSize = 2
+	Size32 AccessSize = 4
+	Size64 AccessSize = 8
+)
+
+// Valid reports whether s is one of the supported access widths.
+func (s AccessSize) Valid() bool {
+	switch s {
+	case Size8, Size16, Size32, Size64:
+		return true
+	}
+	return false
+}
+
+// Error is returned for invalid physical memory accesses.
+type Error struct {
+	Op   string // "read" or "write"
+	Addr Addr
+	Size AccessSize
+	Why  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("phys: %s %d bytes at %v: %s", e.Op, int(e.Size), e.Addr, e.Why)
+}
+
+// Stats counts traffic into a Memory, for experiment reporting.
+type Stats struct {
+	Reads      uint64 // word-sized read operations
+	Writes     uint64 // word-sized write operations
+	BytesRead  uint64
+	BytesWrote uint64
+}
+
+// Memory is a flat physical memory of fixed size. The zero value is not
+// usable; construct with New. Memory is not safe for concurrent use: the
+// simulator is single-threaded by design (determinism), so no locking is
+// needed or wanted.
+type Memory struct {
+	data  []byte
+	stats Stats
+}
+
+// New allocates a physical memory of size bytes, zero-filled. Size must
+// be a positive multiple of 8 so that aligned 64-bit accesses cannot
+// straddle the end.
+func New(size int) *Memory {
+	if size <= 0 || size%8 != 0 {
+		panic(fmt.Sprintf("phys: invalid memory size %d", size))
+	}
+	return &Memory{data: make([]byte, size)}
+}
+
+// Size returns the memory size in bytes.
+func (m *Memory) Size() int { return len(m.data) }
+
+// Stats returns a snapshot of the access counters.
+func (m *Memory) Stats() Stats { return m.stats }
+
+// ResetStats zeroes the access counters.
+func (m *Memory) ResetStats() { m.stats = Stats{} }
+
+// Contains reports whether an access of the given size at addr lies
+// entirely inside memory.
+func (m *Memory) Contains(addr Addr, size AccessSize) bool {
+	end := uint64(addr) + uint64(size)
+	return uint64(addr) < uint64(len(m.data)) && end <= uint64(len(m.data)) && end >= uint64(size)
+}
+
+func (m *Memory) check(op string, addr Addr, size AccessSize) error {
+	if !size.Valid() {
+		return &Error{Op: op, Addr: addr, Size: size, Why: "unsupported access size"}
+	}
+	if uint64(addr)%uint64(size) != 0 {
+		return &Error{Op: op, Addr: addr, Size: size, Why: "unaligned access"}
+	}
+	if !m.Contains(addr, size) {
+		return &Error{Op: op, Addr: addr, Size: size, Why: "out of range"}
+	}
+	return nil
+}
+
+// Read returns size bytes at addr as a little-endian value (Alpha is
+// little-endian). The access must be naturally aligned and in range.
+func (m *Memory) Read(addr Addr, size AccessSize) (uint64, error) {
+	if err := m.check("read", addr, size); err != nil {
+		return 0, err
+	}
+	m.stats.Reads++
+	m.stats.BytesRead += uint64(size)
+	b := m.data[addr : addr+Addr(size)]
+	switch size {
+	case Size8:
+		return uint64(b[0]), nil
+	case Size16:
+		return uint64(binary.LittleEndian.Uint16(b)), nil
+	case Size32:
+		return uint64(binary.LittleEndian.Uint32(b)), nil
+	default:
+		return binary.LittleEndian.Uint64(b), nil
+	}
+}
+
+// Write stores the low size bytes of val at addr, little-endian. The
+// access must be naturally aligned and in range.
+func (m *Memory) Write(addr Addr, size AccessSize, val uint64) error {
+	if err := m.check("write", addr, size); err != nil {
+		return err
+	}
+	m.stats.Writes++
+	m.stats.BytesWrote += uint64(size)
+	b := m.data[addr : addr+Addr(size)]
+	switch size {
+	case Size8:
+		b[0] = byte(val)
+	case Size16:
+		binary.LittleEndian.PutUint16(b, uint16(val))
+	case Size32:
+		binary.LittleEndian.PutUint32(b, uint32(val))
+	default:
+		binary.LittleEndian.PutUint64(b, val)
+	}
+	return nil
+}
+
+// ReadBytes copies n bytes starting at addr into a fresh slice. Used by
+// DMA transfer modelling, which moves arbitrary-length runs.
+func (m *Memory) ReadBytes(addr Addr, n int) ([]byte, error) {
+	if n < 0 || uint64(addr)+uint64(n) > uint64(len(m.data)) || uint64(addr) > uint64(len(m.data)) {
+		return nil, &Error{Op: "read", Addr: addr, Size: AccessSize(n), Why: "byte range out of bounds"}
+	}
+	out := make([]byte, n)
+	copy(out, m.data[addr:])
+	m.stats.BytesRead += uint64(n)
+	return out, nil
+}
+
+// WriteBytes copies b into memory starting at addr.
+func (m *Memory) WriteBytes(addr Addr, b []byte) error {
+	if uint64(addr)+uint64(len(b)) > uint64(len(m.data)) || uint64(addr) > uint64(len(m.data)) {
+		return &Error{Op: "write", Addr: addr, Size: AccessSize(len(b)), Why: "byte range out of bounds"}
+	}
+	copy(m.data[addr:], b)
+	m.stats.BytesWrote += uint64(len(b))
+	return nil
+}
+
+// Copy moves n bytes from src to dst inside this memory, handling
+// overlap like memmove. It is the data-movement primitive used by the
+// local DMA transfer engine.
+func (m *Memory) Copy(dst, src Addr, n int) error {
+	if n < 0 {
+		return &Error{Op: "copy", Addr: src, Size: AccessSize(n), Why: "negative length"}
+	}
+	if uint64(src)+uint64(n) > uint64(len(m.data)) || uint64(src) > uint64(len(m.data)) {
+		return &Error{Op: "copy", Addr: src, Size: AccessSize(n), Why: "source out of bounds"}
+	}
+	if uint64(dst)+uint64(n) > uint64(len(m.data)) || uint64(dst) > uint64(len(m.data)) {
+		return &Error{Op: "copy", Addr: dst, Size: AccessSize(n), Why: "destination out of bounds"}
+	}
+	copy(m.data[dst:dst+Addr(n)], m.data[src:src+Addr(n)])
+	m.stats.BytesRead += uint64(n)
+	m.stats.BytesWrote += uint64(n)
+	return nil
+}
+
+// Fill sets n bytes starting at addr to v. Convenience for tests and
+// workload setup.
+func (m *Memory) Fill(addr Addr, n int, v byte) error {
+	if uint64(addr)+uint64(n) > uint64(len(m.data)) || n < 0 {
+		return &Error{Op: "write", Addr: addr, Size: AccessSize(n), Why: "fill out of bounds"}
+	}
+	for i := 0; i < n; i++ {
+		m.data[addr+Addr(i)] = v
+	}
+	m.stats.BytesWrote += uint64(n)
+	return nil
+}

@@ -1,0 +1,122 @@
+package sim
+
+import "container/heap"
+
+// Event is a deferred action scheduled on an EventQueue. Events model
+// asynchronous hardware activity — a DMA transfer chunk completing, a
+// network packet arriving — that must happen at a precise simulated time
+// regardless of what the CPU is doing.
+type Event struct {
+	// At is the simulated time the event fires.
+	At Time
+	// Fire performs the event's effect. It runs with the clock already
+	// advanced to at least At.
+	Fire func(now Time)
+
+	seq   uint64 // tie-breaker: FIFO among events with equal At
+	index int    // heap bookkeeping; -1 once popped or cancelled
+}
+
+// Cancelled reports whether the event was removed before firing.
+func (e *Event) Cancelled() bool { return e.index == -2 }
+
+// EventQueue is a deterministic time-ordered queue of events. Events with
+// the same timestamp fire in the order they were scheduled, which keeps
+// whole-simulation behaviour reproducible.
+//
+// The queue does not own a clock; the machine drives it by calling
+// RunUntil with the clock's current time after every modelled cost.
+type EventQueue struct {
+	h   eventHeap
+	seq uint64
+}
+
+// NewEventQueue returns an empty queue.
+func NewEventQueue() *EventQueue { return &EventQueue{} }
+
+// Schedule enqueues fire to run at time at and returns a handle that can
+// be passed to Cancel.
+func (q *EventQueue) Schedule(at Time, fire func(now Time)) *Event {
+	q.seq++
+	e := &Event{At: at, Fire: fire, seq: q.seq}
+	heap.Push(&q.h, e)
+	return e
+}
+
+// Cancel removes a scheduled event. Cancelling an event that already fired
+// or was already cancelled is a no-op.
+func (q *EventQueue) Cancel(e *Event) {
+	if e == nil || e.index < 0 {
+		return
+	}
+	heap.Remove(&q.h, e.index)
+	e.index = -2
+}
+
+// Len reports how many events are pending.
+func (q *EventQueue) Len() int { return len(q.h) }
+
+// NextAt returns the timestamp of the earliest pending event, or Never if
+// the queue is empty.
+func (q *EventQueue) NextAt() Time {
+	if len(q.h) == 0 {
+		return Never
+	}
+	return q.h[0].At
+}
+
+// RunUntil fires, in order, every event with At <= t. Events fired may
+// schedule further events; those are honoured within the same call if
+// they also fall at or before t.
+func (q *EventQueue) RunUntil(t Time) {
+	for len(q.h) > 0 && q.h[0].At <= t {
+		e := heap.Pop(&q.h).(*Event)
+		e.index = -1
+		e.Fire(e.At)
+	}
+}
+
+// Drain fires every pending event regardless of timestamp, in time order,
+// and returns the timestamp of the last event fired (or start if none).
+// It is used at end of simulation to let in-flight transfers finish.
+func (q *EventQueue) Drain(start Time) Time {
+	last := start
+	for len(q.h) > 0 {
+		e := heap.Pop(&q.h).(*Event)
+		e.index = -1
+		if e.At > last {
+			last = e.At
+		}
+		e.Fire(e.At)
+	}
+	return last
+}
+
+// eventHeap implements heap.Interface ordered by (At, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,132 @@
+// Package trace records the bus transactions a machine performs, with
+// timestamps and engine-window annotations. It is the model's logic
+// analyzer: the tools use it to show exactly which uncached accesses an
+// initiation sequence generates (and in which order the engine saw
+// them), and tests use it to assert on access streams.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"uldma/internal/bus"
+	"uldma/internal/dma"
+	"uldma/internal/phys"
+	"uldma/internal/sim"
+)
+
+// Event is one recorded bus transaction.
+type Event struct {
+	At     sim.Time
+	Op     string // "load", "store", "rmw"
+	Addr   phys.Addr
+	Size   phys.AccessSize
+	Val    uint64 // store data / load result / rmw operand
+	Window string // engine window name, "" for plain device traffic
+}
+
+// String renders one event as a timeline line.
+func (e Event) String() string {
+	win := e.Window
+	if win == "" {
+		win = "-"
+	}
+	return fmt.Sprintf("%-10v %-5s %-8s %v = %#x", e.At, e.Op, win, e.Addr, e.Val)
+}
+
+// Recorder captures bus traffic through bus.SetTrace. It is bounded:
+// once max events are recorded, further traffic is counted but not
+// stored (Dropped reports how many).
+type Recorder struct {
+	clock   *sim.Clock
+	max     int
+	events  []Event
+	dropped int
+	window  func(phys.Addr) string
+}
+
+// New creates a recorder holding at most max events (max <= 0 means
+// 4096). The clock provides timestamps.
+func New(clock *sim.Clock, max int) *Recorder {
+	if max <= 0 {
+		max = 4096
+	}
+	return &Recorder{clock: clock, max: max}
+}
+
+// AnnotateEngine makes the recorder label addresses with the engine
+// windows of cfg.
+func (r *Recorder) AnnotateEngine(cfg dma.Config) {
+	r.window = cfg.WindowOf
+}
+
+// AttachBus starts recording b's traffic. It replaces any previous
+// trace hook on the bus; call DetachBus (or install another hook) to
+// stop.
+func (r *Recorder) AttachBus(b *bus.Bus) {
+	b.SetTrace(func(op string, addr phys.Addr, size phys.AccessSize, val uint64) {
+		r.record(op, addr, size, val)
+	})
+}
+
+// DetachBus removes the recorder's hook from b.
+func (r *Recorder) DetachBus(b *bus.Bus) { b.SetTrace(nil) }
+
+func (r *Recorder) record(op string, addr phys.Addr, size phys.AccessSize, val uint64) {
+	if len(r.events) >= r.max {
+		r.dropped++
+		return
+	}
+	e := Event{At: r.clock.Now(), Op: op, Addr: addr, Size: size, Val: val}
+	if r.window != nil {
+		e.Window = r.window(addr)
+	}
+	r.events = append(r.events, e)
+}
+
+// Events returns the recorded events in order.
+func (r *Recorder) Events() []Event { return r.events }
+
+// Dropped reports how many events did not fit.
+func (r *Recorder) Dropped() int { return r.dropped }
+
+// Reset clears the recording.
+func (r *Recorder) Reset() {
+	r.events = r.events[:0]
+	r.dropped = 0
+}
+
+// Ops returns the op sequence as a compact string like "S S L" —
+// convenient for protocol assertions in tests.
+func (r *Recorder) Ops() string {
+	var b strings.Builder
+	for i, e := range r.events {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		switch e.Op {
+		case "store":
+			b.WriteByte('S')
+		case "load":
+			b.WriteByte('L')
+		case "rmw":
+			b.WriteByte('X')
+		default:
+			b.WriteByte('?')
+		}
+	}
+	return b.String()
+}
+
+// Render formats the whole timeline, one event per line.
+func (r *Recorder) Render() string {
+	var b strings.Builder
+	for _, e := range r.events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	if r.dropped > 0 {
+		fmt.Fprintf(&b, "... %d further events dropped (recorder full)\n", r.dropped)
+	}
+	return b.String()
+}

@@ -1,0 +1,163 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	userdma "uldma/internal/core"
+	"uldma/internal/dma"
+	"uldma/internal/proc"
+	"uldma/internal/sim"
+	"uldma/internal/vm"
+)
+
+// TestRecordsInitiationStream attaches the recorder to a live machine
+// and checks the exact bus stream an extended-shadow initiation emits.
+func TestRecordsInitiationStream(t *testing.T) {
+	method := userdma.ExtShadow{}
+	m := userdma.Machine(method)
+	rec := New(m.Clock, 64)
+	rec.AnnotateEngine(m.Engine.Config())
+
+	var h *userdma.Handle
+	p := m.NewProcess("traced", func(c *proc.Context) error {
+		rec.AttachBus(m.Bus) // start recording at the first instruction
+		_, err := h.DMA(c, 0x10000, 0x20000, 64)
+		rec.DetachBus(m.Bus)
+		return err
+	})
+	var err error
+	if h, err = method.Attach(m, p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.SetupPages(p, 0x10000, 1, vm.Read|vm.Write); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.SetupPages(p, 0x20000, 1, vm.Read|vm.Write); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(proc.NewRoundRobin(8), 10_000); err != nil {
+		t.Fatal(err)
+	}
+	if p.Err() != nil {
+		t.Fatal(p.Err())
+	}
+	// Figure 4 on the wire: one store then one load, both shadow.
+	if got := rec.Ops(); got != "S L" {
+		t.Fatalf("bus stream = %q, want \"S L\"", got)
+	}
+	for _, e := range rec.Events() {
+		if e.Window != "shadow" {
+			t.Fatalf("event outside shadow window: %v", e)
+		}
+	}
+	if rec.Dropped() != 0 {
+		t.Fatalf("dropped = %d", rec.Dropped())
+	}
+	out := rec.Render()
+	if !strings.Contains(out, "shadow") || !strings.Contains(out, "store") {
+		t.Fatalf("render output:\n%s", out)
+	}
+}
+
+// TestKeyedStreamShape checks the keyed method's 4-access wire shape
+// (three stores drain at the barrier, then the status load).
+func TestKeyedStreamShape(t *testing.T) {
+	method := userdma.KeyBased{}
+	m := userdma.Machine(method)
+	rec := New(m.Clock, 64)
+	rec.AnnotateEngine(m.Engine.Config())
+
+	var h *userdma.Handle
+	p := m.NewProcess("traced", func(c *proc.Context) error {
+		rec.AttachBus(m.Bus)
+		_, err := h.DMA(c, 0x10000, 0x20000, 64)
+		rec.DetachBus(m.Bus)
+		return err
+	})
+	var err error
+	if h, err = method.Attach(m, p); err != nil {
+		t.Fatal(err)
+	}
+	m.SetupPages(p, 0x10000, 1, vm.Read|vm.Write)
+	m.SetupPages(p, 0x20000, 1, vm.Read|vm.Write)
+	if err := m.Run(proc.NewRoundRobin(8), 10_000); err != nil {
+		t.Fatal(err)
+	}
+	if p.Err() != nil {
+		t.Fatal(p.Err())
+	}
+	if got := rec.Ops(); got != "S S S L" {
+		t.Fatalf("bus stream = %q, want \"S S S L\"", got)
+	}
+	wins := []string{}
+	for _, e := range rec.Events() {
+		wins = append(wins, e.Window)
+	}
+	want := []string{"shadow", "shadow", "ctx", "ctx"}
+	for i := range want {
+		if wins[i] != want[i] {
+			t.Fatalf("windows = %v, want %v", wins, want)
+		}
+	}
+}
+
+func TestRecorderBoundsAndReset(t *testing.T) {
+	clock := sim.NewClock()
+	rec := New(clock, 2)
+	for i := 0; i < 5; i++ {
+		clock.Advance(sim.Nanosecond)
+		rec.record("store", 0x1000, 8, uint64(i))
+	}
+	if len(rec.Events()) != 2 || rec.Dropped() != 3 {
+		t.Fatalf("events=%d dropped=%d", len(rec.Events()), rec.Dropped())
+	}
+	if !strings.Contains(rec.Render(), "3 further events dropped") {
+		t.Fatal("drop notice missing")
+	}
+	rec.Reset()
+	if len(rec.Events()) != 0 || rec.Dropped() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+	if New(clock, 0) == nil {
+		t.Fatal("default capacity")
+	}
+}
+
+func TestOpsEncoding(t *testing.T) {
+	clock := sim.NewClock()
+	rec := New(clock, 16)
+	rec.record("store", 0, 8, 0)
+	rec.record("load", 0, 8, 0)
+	rec.record("rmw", 0, 8, 0)
+	rec.record("weird", 0, 8, 0)
+	if got := rec.Ops(); got != "S L X ?" {
+		t.Fatalf("Ops = %q", got)
+	}
+	ev := rec.Events()[0]
+	if !strings.Contains(ev.String(), "store") || !strings.Contains(ev.String(), "-") {
+		t.Fatalf("event string = %q", ev.String())
+	}
+}
+
+func TestWindowOfNames(t *testing.T) {
+	cfg := userdma.ConfigFor(userdma.KeyBased{}).Engine
+	if cfg.WindowOf(cfg.ShadowBase+8) != "shadow" {
+		t.Fatal("shadow window")
+	}
+	if cfg.WindowOf(cfg.CtxPage(1)) != "ctx" {
+		t.Fatal("ctx window")
+	}
+	if cfg.WindowOf(cfg.ControlBase) != "control" {
+		t.Fatal("control window")
+	}
+	if cfg.WindowOf(cfg.AtomicShadow(0x40, dma.AtomicAdd)) != "atomic" {
+		t.Fatal("atomic window")
+	}
+	if cfg.WindowOf(cfg.RemoteAddr(1, 0x100)) != "remote" {
+		t.Fatal("remote window")
+	}
+	if cfg.WindowOf(0x1000) != "" {
+		t.Fatal("plain memory misclassified")
+	}
+}

@@ -1,0 +1,119 @@
+package vm
+
+import (
+	"fmt"
+
+	"uldma/internal/phys"
+)
+
+// TLB is a small fully-associative translation look-aside buffer with LRU
+// replacement. Entries are tagged by (ASID, VPN) — like the Alpha's
+// address-space numbers — so a context switch does not require a flush,
+// though Flush is provided for machines configured without ASN tagging.
+//
+// The TLB exists in the model because translation cost is part of the
+// paper's argument: the kernel-level DMA path pays a software
+// virtual_to_physical per argument, while user-level paths reuse TLB
+// entries the shadow mappings installed once at setup time.
+type TLB struct {
+	entries []tlbEntry
+	tick    uint64
+	stats   TLBStats
+}
+
+type tlbEntry struct {
+	asid  int
+	vpn   uint64
+	gen   uint64 // address-space generation when cached
+	pte   PTE
+	used  uint64 // LRU timestamp
+	valid bool
+}
+
+// TLBStats counts hit/miss traffic.
+type TLBStats struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// NewTLB creates a TLB with the given number of entries (the 21064 had a
+// 32-entry data TLB; the presets follow it).
+func NewTLB(size int) *TLB {
+	if size < 1 {
+		panic(fmt.Sprintf("vm: TLB size %d", size))
+	}
+	return &TLB{entries: make([]tlbEntry, size)}
+}
+
+// Stats returns a snapshot of the counters.
+func (t *TLB) Stats() TLBStats { return t.stats }
+
+// ResetStats zeroes the counters.
+func (t *TLB) ResetStats() { t.stats = TLBStats{} }
+
+// Flush invalidates every entry.
+func (t *TLB) Flush() {
+	for i := range t.entries {
+		t.entries[i].valid = false
+	}
+}
+
+// FlushASID invalidates entries belonging to one address space.
+func (t *TLB) FlushASID(asid int) {
+	for i := range t.entries {
+		if t.entries[i].asid == asid {
+			t.entries[i].valid = false
+		}
+	}
+}
+
+// Translate resolves va in as, filling from the page table on a miss.
+// hit reports whether the translation was served from the TLB; the CPU
+// charges its page-table-walk cost when hit is false. Protection is
+// checked on every access (rights live in the PTE, cached or not).
+func (t *TLB) Translate(as *AddressSpace, va VAddr, access Access) (pa phys.Addr, hit bool, err error) {
+	t.tick++
+	vpn := uint64(va) / as.PageSize()
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.asid == as.ASID() && e.vpn == vpn && e.gen == as.Generation() {
+			if !e.pte.Prot.Can(access.Need()) {
+				return 0, true, &Fault{VA: va, Access: access, Kind: FaultProtection, ASID: as.ASID()}
+			}
+			e.used = t.tick
+			t.stats.Hits++
+			return e.pte.Frame + phys.Addr(uint64(va)%as.PageSize()), true, nil
+		}
+	}
+	// Miss: walk the page table.
+	t.stats.Misses++
+	pte, ok := as.Lookup(va)
+	if !ok {
+		return 0, false, &Fault{VA: va, Access: access, Kind: FaultUnmapped, ASID: as.ASID()}
+	}
+	t.insert(as, vpn, pte)
+	if !pte.Prot.Can(access.Need()) {
+		return 0, false, &Fault{VA: va, Access: access, Kind: FaultProtection, ASID: as.ASID()}
+	}
+	return pte.Frame + phys.Addr(uint64(va)%as.PageSize()), false, nil
+}
+
+func (t *TLB) insert(as *AddressSpace, vpn uint64, pte PTE) {
+	victim := 0
+	oldest := ^uint64(0)
+	for i := range t.entries {
+		e := &t.entries[i]
+		if !e.valid {
+			victim = i
+			break
+		}
+		if e.used < oldest {
+			oldest = e.used
+			victim = i
+		}
+	}
+	t.entries[victim] = tlbEntry{
+		asid: as.ASID(), vpn: vpn, gen: as.Generation(),
+		pte: pte, used: t.tick, valid: true,
+	}
+}
