@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build vet test race bench ci baseline
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The simulator's concurrency contract: one goroutine per simulated
+# world, parallelism only BETWEEN worlds (internal/par). The race
+# detector run backs that contract — every parity test drives the
+# parallel sweep/exploration drivers under -race.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchmem -run XXX ./internal/sim ./internal/vm ./internal/bus ./internal/machine ./...
+
+ci: build vet race
+
+# Regenerate the perf-trajectory snapshot (raw simulated picoseconds;
+# byte-identical for any -procs value).
+baseline:
+	$(GO) run ./cmd/dmabench -json -sweep -breakeven -trend -comparators > BENCH_baseline.json

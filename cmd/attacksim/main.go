@@ -23,6 +23,7 @@ func main() {
 	figure := flag.Int("figure", 0, "which figure to replay (5, 6 or 8; 0 = all)")
 	attackerSlots := flag.Int("slots", 4, "attacker slots for the exhaustive search")
 	seeds := flag.Int("seeds", 25, "random adversarial campaigns for figure 8")
+	procs := flag.Int("procs", 0, "worker goroutines for the figure-8 searches (0 = GOMAXPROCS)")
 	victimSrc := flag.String("victim", "", "custom victim sequence (assembler syntax; symbols A B C FOO)")
 	attackerSrc := flag.String("attacker", "", "custom attacker sequence")
 	schedule := flag.String("schedule", "", "custom slot schedule, e.g. VAAAVVAV")
@@ -45,7 +46,7 @@ func main() {
 		case 6:
 			return figure6()
 		case 8:
-			return figure8(*attackerSlots, *seeds)
+			return figure8(*attackerSlots, *seeds, *procs)
 		default:
 			return fmt.Errorf("unknown figure %d", f)
 		}
@@ -136,7 +137,7 @@ func figure6() error {
 	return nil
 }
 
-func figure8(attackerSlots, seeds int) error {
+func figure8(attackerSlots, seeds, procs int) error {
 	banner("Figure 8 — 5-access repeated passing under attack")
 	o, err := userdma.Figure8Replay()
 	if err != nil {
@@ -147,7 +148,7 @@ func figure8(attackerSlots, seeds int) error {
 		return fmt.Errorf("the 5-access sequence was hijacked")
 	}
 
-	tried, hijack, err := userdma.ExhaustiveInterleavings(attackerSlots)
+	tried, hijack, err := userdma.ExhaustiveInterleavingsP(attackerSlots, procs)
 	if err != nil {
 		return err
 	}
@@ -159,12 +160,12 @@ func figure8(attackerSlots, seeds int) error {
 	}
 	fmt.Println("none")
 
+	outcomes, err := userdma.RandomCampaignP(seeds, false, false, procs)
+	if err != nil {
+		return err
+	}
 	hijacked, misinformed := 0, 0
-	for seed := uint64(1); seed <= uint64(seeds); seed++ {
-		o, err := userdma.RandomAdversarialRun(seed, false, false)
-		if err != nil {
-			return err
-		}
+	for _, o := range outcomes {
 		if o.Hijacked {
 			hijacked++
 		}

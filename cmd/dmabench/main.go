@@ -5,18 +5,25 @@
 //
 // Usage:
 //
-//	dmabench [-iters N] [-sweep] [-contention] [-comparators]
+//	dmabench [-iters N] [-sweep] [-contention] [-comparators] [-procs W] [-json]
 //
 // The default -iters 1000 matches the paper's measurement loop.
+// Independent measurement cells (one simulated machine each) run on
+// -procs worker goroutines (default: GOMAXPROCS); results are
+// byte-identical for any worker count. -json emits the raw numbers
+// (simulated picoseconds) as one JSON document for snapshotting and
+// regression comparison.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	userdma "uldma/internal/core"
 	"uldma/internal/machine"
+	"uldma/internal/par"
 	"uldma/internal/proc"
 	"uldma/internal/sim"
 	"uldma/internal/stats"
@@ -32,10 +39,20 @@ func main() {
 	breakeven := flag.Bool("breakeven", false, "also run the initiation-vs-transfer break-even sweep (X6)")
 	traceFlag := flag.Bool("trace", false, "show the bus transactions of one initiation per method")
 	trend := flag.Bool("trend", false, "also run the hardware-generation trend sweep (X7)")
+	procs := flag.Int("procs", 0, "worker goroutines for independent measurement cells (0 = GOMAXPROCS)")
+	jsonOut := flag.Bool("json", false, "emit results as one JSON document (raw simulated picoseconds)")
 	flag.Parse()
 
+	if *jsonOut {
+		if err := runJSON(*iters, *procs, *sweep, *comparators, *breakeven, *trend, *contention); err != nil {
+			fmt.Fprintln(os.Stderr, "dmabench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *trend {
-		if err := runTrend(*iters); err != nil {
+		if err := runTrend(*iters, *procs); err != nil {
 			fmt.Fprintln(os.Stderr, "dmabench:", err)
 			os.Exit(1)
 		}
@@ -47,17 +64,154 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if err := run(*iters, *sweep, *contention, *comparators, *breakeven); err != nil {
+	if err := run(*iters, *procs, *sweep, *contention, *comparators, *breakeven); err != nil {
 		fmt.Fprintln(os.Stderr, "dmabench:", err)
 		os.Exit(1)
 	}
 }
 
+// JSON output types: times are raw sim.Time values (picoseconds of
+// simulated time), exact integers suitable for byte-for-byte regression
+// comparison across code changes.
+type initiationJSON struct {
+	Method      string
+	Iterations  int
+	MeanPs      int64
+	MinPs       int64
+	MaxPs       int64
+	PaperMeanPs int64 `json:",omitempty"`
+}
+
+type breakEvenJSON struct {
+	Size         uint64
+	InitiationPs int64
+	TransferPs   int64
+	InitShare    float64
+}
+
+type trendJSON struct {
+	Era             string
+	KernelInitPs    int64
+	UserInitPs      int64
+	KernelCrossover uint64
+}
+
+type benchJSON struct {
+	Machine     string
+	Iters       int
+	Table1      []initiationJSON
+	Comparators []initiationJSON            `json:",omitempty"`
+	BusSweep    map[string][]initiationJSON `json:",omitempty"`
+	BreakEven   map[string][]breakEvenJSON  `json:",omitempty"`
+	Trend       []trendJSON                 `json:",omitempty"`
+	Contention  []initiationJSON            `json:",omitempty"`
+}
+
+func initJSON(r userdma.InitiationResult) initiationJSON {
+	return initiationJSON{
+		Method: r.Method, Iterations: r.Iterations,
+		MeanPs: int64(r.Mean), MinPs: int64(r.Min), MaxPs: int64(r.Max),
+		PaperMeanPs: int64(r.PaperMean),
+	}
+}
+
+// runJSON gathers every requested section and emits one JSON document.
+func runJSON(iters, procs int, sweep, comparators, breakeven, trend, contention bool) error {
+	doc := benchJSON{Machine: machine.Alpha3000TC(0, 0).Name, Iters: iters}
+
+	t1, err := userdma.Table1P(iters, procs)
+	if err != nil {
+		return err
+	}
+	for _, r := range t1 {
+		doc.Table1 = append(doc.Table1, initJSON(r))
+	}
+	if comparators {
+		rs, err := measureComparators(iters, procs)
+		if err != nil {
+			return err
+		}
+		for _, r := range rs {
+			doc.Comparators = append(doc.Comparators, initJSON(r))
+		}
+	}
+	if sweep {
+		freqs := []sim.Hz{12_500_000, 33 * sim.MHz, 66 * sim.MHz}
+		res, err := userdma.BusSweepP(iters, freqs, procs)
+		if err != nil {
+			return err
+		}
+		doc.BusSweep = make(map[string][]initiationJSON)
+		for _, f := range freqs {
+			var rows []initiationJSON
+			for _, r := range res[f] {
+				rows = append(rows, initJSON(r))
+			}
+			doc.BusSweep[f.String()] = rows
+		}
+	}
+	if breakeven {
+		doc.BreakEven = make(map[string][]breakEvenJSON)
+		for _, m := range []userdma.Method{userdma.KernelLevel{}, userdma.ExtShadow{}} {
+			pts, err := userdma.BreakEvenP(m, userdma.DefaultSizes, procs)
+			if err != nil {
+				return err
+			}
+			var rows []breakEvenJSON
+			for _, pt := range pts {
+				rows = append(rows, breakEvenJSON{
+					Size: pt.Size, InitiationPs: int64(pt.Initiation),
+					TransferPs: int64(pt.Transfer), InitShare: pt.InitShare,
+				})
+			}
+			doc.BreakEven[m.Name()] = rows
+		}
+	}
+	if trend {
+		pts, err := userdma.TrendSweepP(iters, procs)
+		if err != nil {
+			return err
+		}
+		for _, pt := range pts {
+			doc.Trend = append(doc.Trend, trendJSON{
+				Era: pt.Era, KernelInitPs: int64(pt.KernelInit),
+				UserInitPs: int64(pt.UserInit), KernelCrossover: pt.KernelCrossover,
+			})
+		}
+	}
+	if contention {
+		res, err := userdma.ContextContention(userdma.ExtShadow{}, 6, iters/10+1)
+		if err != nil {
+			return err
+		}
+		for _, r := range res {
+			doc.Contention = append(doc.Contention, initJSON(r))
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// measureComparators measures the non-Table-1 methods, one machine per
+// cell, fanned out on the worker pool.
+func measureComparators(iters, procs int) ([]userdma.InitiationResult, error) {
+	methods := []userdma.Method{
+		userdma.PALCode{}, userdma.SHRIMP1{},
+		userdma.SHRIMP2{WithKernelMod: true}, userdma.FLASH{},
+	}
+	return par.Map(len(methods), procs, func(i int) (userdma.InitiationResult, error) {
+		m := methods[i]
+		cfg := machine.Alpha3000TC(m.EngineMode(), m.SeqLen())
+		return userdma.MeasureMethod(m, cfg, iters)
+	})
+}
+
 // runTrend prints experiment X7: the hardware-generation trend behind
 // the paper's motivation.
-func runTrend(iters int) error {
+func runTrend(iters, procs int) error {
 	fmt.Println("Hardware-generation trend (X7) — the motivating §1/§2.2 argument")
-	pts, err := userdma.TrendSweep(iters)
+	pts, err := userdma.TrendSweepP(iters, procs)
 	if err != nil {
 		return err
 	}
@@ -124,7 +278,7 @@ func runTrace() error {
 	return nil
 }
 
-func run(iters int, sweep, contention, comparators, breakeven bool) error {
+func run(iters, procs int, sweep, contention, comparators, breakeven bool) error {
 	infos, err := userdma.Overview()
 	if err != nil {
 		return err
@@ -143,7 +297,7 @@ func run(iters int, sweep, contention, comparators, breakeven bool) error {
 	fmt.Printf("Table 1 — DMA initiation time (%d initiations/method)\n", iters)
 	fmt.Printf("machine: %s\n\n", machine.Alpha3000TC(0, 0).Name)
 
-	results, err := userdma.Table1(iters)
+	results, err := userdma.Table1P(iters, procs)
 	if err != nil {
 		return err
 	}
@@ -160,16 +314,15 @@ func run(iters int, sweep, contention, comparators, breakeven bool) error {
 	if comparators {
 		fmt.Println("Comparators (not in Table 1; measured on the same model)")
 		tb := stats.NewTable("method", "measured (µs)", "kernel mod?")
-		for _, m := range []userdma.Method{
+		rs, err := measureComparators(iters, procs)
+		if err != nil {
+			return err
+		}
+		for i, m := range []userdma.Method{
 			userdma.PALCode{}, userdma.SHRIMP1{},
 			userdma.SHRIMP2{WithKernelMod: true}, userdma.FLASH{},
 		} {
-			cfg := machine.Alpha3000TC(m.EngineMode(), m.SeqLen())
-			r, err := userdma.MeasureMethod(m, cfg, iters)
-			if err != nil {
-				return err
-			}
-			tb.AddRow(m.Name(), fmt.Sprintf("%.2f", r.Mean.Microseconds()), m.RequiresKernelMod())
+			tb.AddRow(m.Name(), fmt.Sprintf("%.2f", rs[i].Mean.Microseconds()), m.RequiresKernelMod())
 		}
 		fmt.Println(tb)
 	}
@@ -177,7 +330,7 @@ func run(iters int, sweep, contention, comparators, breakeven bool) error {
 	if sweep {
 		freqs := []sim.Hz{12_500_000, 33 * sim.MHz, 66 * sim.MHz}
 		fmt.Println("Bus-frequency sweep (X4) — mean initiation (µs)")
-		res, err := userdma.BusSweep(iters, freqs)
+		res, err := userdma.BusSweepP(iters, freqs, procs)
 		if err != nil {
 			return err
 		}
@@ -195,7 +348,7 @@ func run(iters int, sweep, contention, comparators, breakeven bool) error {
 		fmt.Println("Break-even sweep (X6) — initiation share of total DMA cost")
 		tb := stats.NewTable(append([]string{"DMA algorithm"}, sizesHeader()...)...)
 		for _, m := range []userdma.Method{userdma.KernelLevel{}, userdma.ExtShadow{}} {
-			pts, err := userdma.BreakEven(m, userdma.DefaultSizes)
+			pts, err := userdma.BreakEvenP(m, userdma.DefaultSizes, procs)
 			if err != nil {
 				return err
 			}

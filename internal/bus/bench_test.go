@@ -1,0 +1,91 @@
+package bus
+
+import (
+	"testing"
+
+	"uldma/internal/phys"
+	"uldma/internal/sim"
+)
+
+// benchDev is a no-op device: the benchmarks measure the buffer and bus
+// bookkeeping, not device behaviour.
+type benchDev struct{ val uint64 }
+
+func (d *benchDev) Name() string { return "bench" }
+func (d *benchDev) Load(_ sim.Time, _ phys.Addr, _ phys.AccessSize) (uint64, int64, error) {
+	return d.val, 0, nil
+}
+func (d *benchDev) Store(_ sim.Time, _ phys.Addr, _ phys.AccessSize, val uint64) (int64, error) {
+	d.val = val
+	return 0, nil
+}
+
+func benchBuffer(b *testing.B, coalesce bool) *WriteBuffer {
+	b.Helper()
+	clock := sim.NewClock()
+	bus := New(clock, tcFreq, tcCost)
+	if err := bus.Map(&benchDev{}, 0x1000, 0x1000); err != nil {
+		b.Fatal(err)
+	}
+	return NewWriteBuffer(bus, 8, coalesce)
+}
+
+// BenchmarkWriteBufferStoreDrain is the initiation-sequence hot loop:
+// post a handful of stores, then drain (the MB before the status load).
+// The buffer preallocates its entries once, so the loop must be
+// alloc-free.
+func BenchmarkWriteBufferStoreDrain(b *testing.B) {
+	clock := sim.NewClock()
+	bus := New(clock, tcFreq, tcCost)
+	if err := bus.Map(&benchDev{}, 0x1000, 0x1000); err != nil {
+		b.Fatal(err)
+	}
+	w := NewWriteBuffer(bus, 8, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < 4; k++ {
+			if err := w.Store(clock, 80, phys.Addr(0x1000+8*k), phys.Size64, uint64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := w.Drain(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWriteBufferStoreCoalesce hammers one address so every store
+// after the first merges into the buffered entry.
+func BenchmarkWriteBufferStoreCoalesce(b *testing.B) {
+	clock := sim.NewClock()
+	bus := New(clock, tcFreq, tcCost)
+	if err := bus.Map(&benchDev{}, 0x1000, 0x1000); err != nil {
+		b.Fatal(err)
+	}
+	w := NewWriteBuffer(bus, 8, true)
+	if err := w.Store(clock, 80, 0x1000, phys.Size64, 0); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Store(clock, 80, 0x1000, phys.Size64, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWriteBufferLoadEmpty is the status-poll fast path: nothing
+// posted, so the load must go straight to the bus without scanning or
+// draining.
+func BenchmarkWriteBufferLoadEmpty(b *testing.B) {
+	w := benchBuffer(b, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Load(0x1000, phys.Size64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -64,7 +64,13 @@ func NewWriteBuffer(b *Bus, capacity int, coalesce bool) *WriteBuffer {
 	if capacity < 1 {
 		panic("bus: write buffer capacity must be >= 1")
 	}
-	return &WriteBuffer{bus: b, capacity: capacity, coalesce: coalesce, strictLoad: true}
+	return &WriteBuffer{
+		bus: b, capacity: capacity, coalesce: coalesce, strictLoad: true,
+		// The buffer never holds more than capacity entries, so one
+		// allocation covers the buffer's whole lifetime: drains shrink
+		// the slice but keep the backing array (see Drain).
+		entries: make([]wbEntry, 0, capacity),
+	}
 }
 
 // SetDrainOnLoadMiss selects the buffer's load-ordering behaviour.
@@ -91,7 +97,11 @@ func (w *WriteBuffer) Pending() int { return len(w.entries) }
 // drained first.
 func (w *WriteBuffer) Store(clock *sim.Clock, enqueueCost sim.Time, addr phys.Addr, size phys.AccessSize, val uint64) error {
 	clock.Advance(enqueueCost)
-	if w.coalesce {
+	// Fast path: an empty buffer (the common case — most initiation
+	// sequences drain between stores) skips the coalesce scan and goes
+	// straight to the append, which never allocates (capacity is
+	// preallocated and preserved across drains).
+	if w.coalesce && len(w.entries) > 0 {
 		for i := range w.entries {
 			if w.entries[i].addr == addr && w.entries[i].size == size {
 				w.entries[i].val = val
@@ -115,6 +125,11 @@ func (w *WriteBuffer) Store(clock *sim.Clock, enqueueCost sim.Time, addr phys.Ad
 // hazard); a miss drains the buffer (uncached ordering) and then issues
 // the bus read.
 func (w *WriteBuffer) Load(addr phys.Addr, size phys.AccessSize) (uint64, error) {
+	if len(w.entries) == 0 {
+		// Fast path: nothing posted — no forwarding possible, nothing
+		// to drain; issue the bus read directly.
+		return w.bus.Load(addr, size)
+	}
 	if w.coalesce {
 		// Newest matching entry wins (program order).
 		for i := len(w.entries) - 1; i >= 0; i-- {
@@ -151,14 +166,19 @@ func (w *WriteBuffer) Drain() error {
 		return nil
 	}
 	w.stats.Drains++
-	for len(w.entries) > 0 {
-		e := w.entries[0]
+	for i := range w.entries {
+		e := &w.entries[i]
 		if err := w.bus.Store(e.addr, e.size, e.val); err != nil {
+			// Keep the not-yet-pushed tail queued, compacted to the
+			// front of the same backing array.
+			n := copy(w.entries, w.entries[i:])
+			w.entries = w.entries[:n]
 			return err
 		}
-		w.entries = w.entries[1:]
 		w.stats.DrainedOps++
 	}
-	w.entries = nil
+	// Empty the buffer but keep the backing array: the next Store
+	// appends without allocating.
+	w.entries = w.entries[:0]
 	return nil
 }

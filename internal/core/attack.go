@@ -394,54 +394,65 @@ func RandomAdversarialRun(seed uint64, shareA, looseStatus bool) (AttackOutcome,
 // number of schedules tried and the first hijacking outcome found (nil
 // if none — the paper's §3.3.1 claim).
 func ExhaustiveInterleavings(attackerSlots int) (tried int, hijack *AttackOutcome, err error) {
-	const size = 64
 	// Victim: S MB L S MB L L = 7 slots. Attacker: first `attackerSlots`
 	// slots of [S(FOO) MB L(FOO) L(C) L(C) S(C) MB L(FOO)].
 	const victimSlots = 7
 	schedules := interleavings(victimSlots, attackerSlots)
 	for _, sched := range schedules {
 		tried++
-		var victimStatus uint64
-		victimBody := func(c *proc.Context) error {
-			r := RepeatedPassing{Len: 5, Barriers: true}
-			st, e := runCheckedProgram(c, r.sequence(vaA, vaB, size))
-			victimStatus = st
-			return e
-		}
-		attackerBody := func(c *proc.Context) error {
-			c.Store(shadow(vaFoo), phys.Size64, 32)
-			c.MB()
-			c.Load(shadow(vaFoo), phys.Size64)
-			c.Load(shadow(vaC), phys.Size64)
-			c.Load(shadow(vaC), phys.Size64)
-			c.Store(shadow(vaC), phys.Size64, 32)
-			c.MB()
-			c.Load(shadow(vaFoo), phys.Size64)
-			return nil
-		}
-		w, e := newAttackWorld(5, false, victimBody, attackerBody)
+		o, e := runInterleaving(sched)
 		if e != nil {
 			return tried, nil, e
 		}
-		V, A := w.victim.PID(), w.attacker.PID()
-		var order []proc.PID
-		for _, isVictim := range sched {
-			if isVictim {
-				order = append(order, V)
-			} else {
-				order = append(order, A)
-			}
-		}
-		if e := w.m.Run(proc.NewScripted(order...), 100_000); e != nil {
-			return tried, nil, e
-		}
-		w.m.Settle()
-		o := w.outcome(victimStatus, 0)
 		if o.Hijacked {
 			return tried, &o, nil
 		}
 	}
 	return tried, nil, nil
+}
+
+// runInterleaving runs ONE schedule of the exhaustive search on a fresh
+// world: the victim's barriered 5-access attempt against the fixed
+// adversarial program, interleaved as sched dictates (true = victim
+// slot). It is shared by the serial and parallel searches.
+func runInterleaving(sched []bool) (AttackOutcome, error) {
+	const size = 64
+	var victimStatus uint64
+	victimBody := func(c *proc.Context) error {
+		r := RepeatedPassing{Len: 5, Barriers: true}
+		st, e := runCheckedProgram(c, r.sequence(vaA, vaB, size))
+		victimStatus = st
+		return e
+	}
+	attackerBody := func(c *proc.Context) error {
+		c.Store(shadow(vaFoo), phys.Size64, 32)
+		c.MB()
+		c.Load(shadow(vaFoo), phys.Size64)
+		c.Load(shadow(vaC), phys.Size64)
+		c.Load(shadow(vaC), phys.Size64)
+		c.Store(shadow(vaC), phys.Size64, 32)
+		c.MB()
+		c.Load(shadow(vaFoo), phys.Size64)
+		return nil
+	}
+	w, e := newAttackWorld(5, false, victimBody, attackerBody)
+	if e != nil {
+		return AttackOutcome{}, e
+	}
+	V, A := w.victim.PID(), w.attacker.PID()
+	order := make([]proc.PID, 0, len(sched))
+	for _, isVictim := range sched {
+		if isVictim {
+			order = append(order, V)
+		} else {
+			order = append(order, A)
+		}
+	}
+	if e := w.m.Run(proc.NewScripted(order...), 100_000); e != nil {
+		return AttackOutcome{}, e
+	}
+	w.m.Settle()
+	return w.outcome(victimStatus, 0), nil
 }
 
 // ScenarioSymbols returns the assembler symbol table of the standard

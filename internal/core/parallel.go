@@ -1,0 +1,207 @@
+package userdma
+
+import (
+	"errors"
+	"fmt"
+
+	"uldma/internal/dma"
+	"uldma/internal/machine"
+	"uldma/internal/par"
+	"uldma/internal/sim"
+)
+
+// Parallel sweep drivers.
+//
+// Every measurement in this package runs on a machine built fresh for
+// that one measurement cell — a (method, config, seed) triple shares no
+// state with any other cell. That makes the sweeps embarrassingly
+// parallel: the P-variants below flatten each sweep's cells into one
+// index space, fan them out on internal/par's bounded pool, and collect
+// results in cell order. Because each cell is single-goroutine and
+// deterministic, the parallel sweeps return byte-identical tables to
+// their serial counterparts (the parity tests assert this); the serial
+// error order is preserved too, since par.Do always surfaces the
+// lowest-indexed failure.
+//
+// All P-variants accept workers <= 0 to mean runtime.GOMAXPROCS(0) and
+// degrade to the plain serial loop for workers == 1.
+//
+// ContextContention deliberately has no P-variant: its six processes
+// share ONE machine (the contention under study is within a world, not
+// between worlds), so the single-goroutine-per-world rule makes it
+// inherently serial.
+
+// Table1P is Table1 with the four method cells measured concurrently.
+func Table1P(iters, workers int) ([]InitiationResult, error) {
+	methods := Methods()
+	return par.Map(len(methods), workers, func(i int) (InitiationResult, error) {
+		method := methods[i]
+		r, err := MeasureMethod(method, ConfigFor(method), iters)
+		if err != nil {
+			return InitiationResult{}, fmt.Errorf("%s: %w", method.Name(), err)
+		}
+		return r, nil
+	})
+}
+
+// BusSweepP is BusSweep with every (frequency, method) cell measured
+// concurrently.
+func BusSweepP(iters int, freqs []sim.Hz, workers int) (map[sim.Hz][]InitiationResult, error) {
+	methods := Methods()
+	type cell struct {
+		freq   sim.Hz
+		method Method
+	}
+	var cells []cell
+	for _, f := range freqs {
+		for _, m := range methods {
+			cells = append(cells, cell{f, m})
+		}
+	}
+	results, err := par.Map(len(cells), workers, func(i int) (InitiationResult, error) {
+		c := cells[i]
+		var cfg machine.Config
+		if c.freq == 12_500_000 {
+			cfg = ConfigFor(c.method)
+		} else {
+			cfg = machine.PCI(c.method.EngineMode(), c.method.SeqLen(), c.freq)
+		}
+		r, err := MeasureMethod(c.method, cfg, iters)
+		if err != nil {
+			return InitiationResult{}, fmt.Errorf("%v/%s: %w", c.freq, c.method.Name(), err)
+		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[sim.Hz][]InitiationResult)
+	for i, c := range cells {
+		out[c.freq] = append(out[c.freq], results[i])
+	}
+	return out, nil
+}
+
+// BreakEvenP is BreakEven with the size cells measured concurrently.
+func BreakEvenP(method Method, sizes []uint64, workers int) ([]BreakEvenPoint, error) {
+	return par.Map(len(sizes), workers, func(i int) (BreakEvenPoint, error) {
+		pt, err := breakEvenOne(method, sizes[i])
+		if err != nil {
+			return BreakEvenPoint{}, fmt.Errorf("size %d: %w", sizes[i], err)
+		}
+		return pt, nil
+	})
+}
+
+// TrendSweepP is TrendSweep with every cell — two initiation
+// measurements plus a break-even sweep per era — flattened into one job
+// space and measured concurrently.
+func TrendSweepP(iters, workers int) ([]TrendPoint, error) {
+	eras := TrendEras()
+	sizes := DefaultSizes
+	// Cell layout per era, in the serial sweep's error order: kernel
+	// initiation, user initiation, then one cell per break-even size.
+	perEra := 2 + len(sizes)
+	type cellResult struct {
+		init InitiationResult
+		pt   BreakEvenPoint
+	}
+	results, err := par.Map(len(eras)*perEra, workers, func(i int) (cellResult, error) {
+		era := eras[i/perEra]
+		switch k := i % perEra; k {
+		case 0:
+			r, err := MeasureMethod(KernelLevel{}, era.Config(dma.ModePaired, 0), iters)
+			if err != nil {
+				return cellResult{}, fmt.Errorf("%s/kernel: %w", era.Name, err)
+			}
+			return cellResult{init: r}, nil
+		case 1:
+			r, err := MeasureMethod(ExtShadow{}, era.Config(dma.ModeExtended, 0), iters)
+			if err != nil {
+				return cellResult{}, fmt.Errorf("%s/user: %w", era.Name, err)
+			}
+			return cellResult{init: r}, nil
+		default:
+			pt, err := breakEvenOneCfg(KernelLevel{}, era.Config(dma.ModePaired, 0), sizes[k-2])
+			if err != nil {
+				return cellResult{}, err
+			}
+			return cellResult{pt: pt}, nil
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]TrendPoint, 0, len(eras))
+	for e, era := range eras {
+		base := e * perEra
+		pts := make([]BreakEvenPoint, len(sizes))
+		for s := range sizes {
+			pts[s] = results[base+2+s].pt
+		}
+		cross, _ := Crossover(pts)
+		out = append(out, TrendPoint{
+			Era:             era.Name,
+			KernelInit:      results[base].init.Mean,
+			UserInit:        results[base+1].init.Mean,
+			KernelCrossover: cross,
+		})
+	}
+	return out, nil
+}
+
+// errCellStop is the pool sentinel for "this cell ended the sweep"
+// (hijack found or infrastructure error); par.Do guarantees every cell
+// below the lowest stopping one still completes, which is exactly what
+// the deterministic merges need.
+var errCellStop = errors.New("userdma: sweep cell stop")
+
+// ExhaustiveInterleavingsP is ExhaustiveInterleavings with each
+// schedule's world run concurrently. The returned (tried, hijack, err)
+// triple is identical to the serial search's for any worker count: the
+// schedule list is enumerated in the same order, and the first hijack
+// IN SCHEDULE ORDER wins, not the first found on the wall clock.
+func ExhaustiveInterleavingsP(attackerSlots, workers int) (tried int, hijack *AttackOutcome, err error) {
+	if par.Workers(workers) <= 1 {
+		return ExhaustiveInterleavings(attackerSlots)
+	}
+	const victimSlots = 7
+	schedules := interleavings(victimSlots, attackerSlots)
+	type cellResult struct {
+		hijack *AttackOutcome
+		err    error
+	}
+	results := make([]cellResult, len(schedules))
+	_ = par.Do(len(schedules), workers, func(i int) error {
+		o, e := runInterleaving(schedules[i])
+		if e != nil {
+			results[i] = cellResult{err: e}
+			return errCellStop
+		}
+		if o.Hijacked {
+			results[i] = cellResult{hijack: &o}
+			return errCellStop
+		}
+		return nil
+	})
+	// Merge in schedule order, reconstructing the serial early-return:
+	// `tried` counts schedules up to and including the stopping one.
+	for i := range results {
+		if results[i].err != nil {
+			return i + 1, nil, results[i].err
+		}
+		if results[i].hijack != nil {
+			return i + 1, results[i].hijack, nil
+		}
+	}
+	return len(schedules), nil, nil
+}
+
+// RandomCampaignP runs RandomAdversarialRun for seeds 1..n concurrently
+// and returns the outcomes in seed order (byte-identical to a serial
+// loop: each run owns its machine and its seeded RNG).
+func RandomCampaignP(n int, shareA, looseStatus bool, workers int) ([]AttackOutcome, error) {
+	return par.Map(n, workers, func(i int) (AttackOutcome, error) {
+		return RandomAdversarialRun(uint64(i+1), shareA, looseStatus)
+	})
+}

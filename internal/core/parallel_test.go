@@ -1,0 +1,149 @@
+package userdma
+
+import (
+	"reflect"
+	"testing"
+
+	"uldma/internal/sim"
+)
+
+// The parallel sweep drivers promise byte-identical results to their
+// serial counterparts for ANY worker count. These tests pin that
+// promise: every cell builds its own machine, so parallelising over
+// cells must not perturb a single simulated picosecond.
+
+var parityWorkers = []int{1, 2, 3, 4, 8}
+
+func TestTable1PParity(t *testing.T) {
+	const iters = 50
+	want, err := Table1(iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range parityWorkers {
+		got, err := Table1P(iters, w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: Table1P diverged from Table1\n got %+v\nwant %+v", w, got, want)
+		}
+	}
+}
+
+func TestBusSweepPParity(t *testing.T) {
+	const iters = 30
+	freqs := []sim.Hz{12_500_000, 33 * sim.MHz, 66 * sim.MHz}
+	want, err := BusSweep(iters, freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range parityWorkers {
+		got, err := BusSweepP(iters, freqs, w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: BusSweepP diverged from BusSweep", w)
+		}
+	}
+}
+
+func TestBreakEvenPParity(t *testing.T) {
+	for _, m := range []Method{KernelLevel{}, ExtShadow{}} {
+		want, err := BreakEven(m, DefaultSizes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range parityWorkers {
+			got, err := BreakEvenP(m, DefaultSizes, w)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", m.Name(), w, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s workers=%d: BreakEvenP diverged from BreakEven", m.Name(), w)
+			}
+		}
+	}
+}
+
+func TestTrendSweepPParity(t *testing.T) {
+	const iters = 20
+	want, err := TrendSweep(iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range parityWorkers {
+		got, err := TrendSweepP(iters, w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: TrendSweepP diverged from TrendSweep\n got %+v\nwant %+v", w, got, want)
+		}
+	}
+}
+
+func TestExhaustiveInterleavingsPParity(t *testing.T) {
+	for _, slots := range []int{1, 2, 3} {
+		wantTried, wantHijack, wantErr := ExhaustiveInterleavings(slots)
+		if wantErr != nil {
+			t.Fatal(wantErr)
+		}
+		for _, w := range parityWorkers {
+			tried, hijack, err := ExhaustiveInterleavingsP(slots, w)
+			if err != nil {
+				t.Fatalf("slots=%d workers=%d: %v", slots, w, err)
+			}
+			if tried != wantTried {
+				t.Errorf("slots=%d workers=%d: tried %d, serial %d", slots, w, tried, wantTried)
+			}
+			if !reflect.DeepEqual(hijack, wantHijack) {
+				t.Errorf("slots=%d workers=%d: hijack %+v, serial %+v", slots, w, hijack, wantHijack)
+			}
+		}
+	}
+}
+
+func TestRandomCampaignPParity(t *testing.T) {
+	const n = 9
+	want := make([]AttackOutcome, n)
+	for seed := 1; seed <= n; seed++ {
+		o, err := RandomAdversarialRun(uint64(seed), false, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[seed-1] = o
+	}
+	for _, w := range parityWorkers {
+		got, err := RandomCampaignP(n, false, false, w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: RandomCampaignP diverged from serial seed loop", w)
+		}
+	}
+}
+
+// Repeating a parallel sweep with different seeds of work (three
+// distinct iteration counts stand in for "three seeds": each produces a
+// different deterministic table) guards against any worker-count- or
+// scheduling-order-dependence leaking into results.
+func TestTable1PStableAcrossRuns(t *testing.T) {
+	for _, iters := range []int{10, 25, 40} {
+		first, err := Table1P(iters, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for run := 0; run < 2; run++ {
+			again, err := Table1P(iters, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(again, first) {
+				t.Fatalf("iters=%d run=%d: Table1P not reproducible", iters, run)
+			}
+		}
+	}
+}

@@ -126,16 +126,22 @@ func (e *Engine) start(now sim.Time, src, dst phys.Addr, size uint64) (*Transfer
 		e.reserver.ReserveDMA(t.Start, t.End)
 	}
 
-	// Snapshot the payload now: the engine reads the source as it
-	// streams; modelling the read at acceptance keeps results
-	// deterministic under concurrent CPU writes.
-	data, err := e.mem.ReadBytes(src, int(size))
+	e.schedule(t)
+	return t, true
+}
+
+// snapshot reads the whole payload at acceptance time. Only the
+// bare-engine and remote paths need it; local event-driven transfers
+// re-read each burst at its burst time and never touch this copy, so
+// skipping the snapshot there removes a per-transfer allocation of the
+// full payload size from the hot path.
+func (e *Engine) snapshot(t *Transfer) []byte {
+	data, err := e.mem.ReadBytes(t.Src, int(t.Size))
 	if err != nil {
 		// validate() bounds-checked; failure here is a model bug.
 		panic(err)
 	}
-	e.schedule(t, data)
-	return t, true
+	return data
 }
 
 // startCtx starts a transfer on behalf of register context ctx.
@@ -152,22 +158,67 @@ func (e *Engine) startCtx(now sim.Time, ctx int, src, dst phys.Addr, size uint64
 // progresses, the way a real bus-mastering DMA lands its bursts.
 const transferChunk = 4096
 
+// finish records a transfer's completion.
+func (e *Engine) finish(t *Transfer) {
+	t.delivered = true
+	e.stats.Completed++
+	e.stats.BytesMoved += t.Size
+}
+
+// localWalker is the delivery state of one local transfer. A single
+// walker replaces the old one-closure-per-chunk scheme: every burst
+// event shares the walker's one bound step method and one reusable
+// chunk buffer, and rides the event queue's pooled ScheduleFunc path —
+// so an N-chunk stream costs one walker allocation instead of N event
+// + N closure + N chunk-slice allocations.
+type localWalker struct {
+	e   *Engine
+	t   *Transfer
+	off uint64 // start of the next burst to land
+	buf []byte // reusable burst buffer
+}
+
+// step lands the next burst: read the source AT BURST TIME (so a CPU
+// store to a not-yet-read part of the source is picked up, exactly as
+// on real hardware — and why well-behaved clients don't touch
+// in-flight buffers), then write it to the destination. Bursts fire in
+// (At, seq) order, so off advances monotonically.
+func (w *localWalker) step(sim.Time) {
+	t := w.t
+	if t.Failed {
+		return
+	}
+	lo := w.off
+	hi := lo + transferChunk
+	if hi > t.Size {
+		hi = t.Size
+	}
+	w.off = hi
+	buf := w.buf[:hi-lo]
+	if err := w.e.mem.ReadInto(t.Src+phys.Addr(lo), buf); err != nil {
+		t.Failed = true
+		return
+	}
+	if err := w.e.mem.WriteBytes(t.Dst+phys.Addr(lo), buf); err != nil {
+		t.Failed = true
+		return
+	}
+	if hi == t.Size {
+		w.e.finish(t)
+	}
+}
+
 // schedule arranges delivery of the payload. Local transfers land in
 // transferChunk-sized pieces spread across [Start, End], each chunk
-// read from the source AT ITS BURST TIME (so a CPU store to a
-// not-yet-read part of the source is picked up, exactly as on real
-// hardware — and why well-behaved clients don't touch in-flight
-// buffers). Remote payloads are snapshotted per chunk too but handed to
-// the fabric as one message at End, where link serialization takes
-// over.
-func (e *Engine) schedule(t *Transfer, data []byte) {
-	finish := func() {
-		t.delivered = true
-		e.stats.Completed++
-		e.stats.BytesMoved += t.Size
-	}
+// read from the source at its burst time. Remote payloads are
+// snapshotted at acceptance and handed to the fabric as one message at
+// End, where link serialization takes over. All burst events are
+// scheduled up front at acceptance, preserving the queue's FIFO
+// tie-break order across overlapping transfers.
+func (e *Engine) schedule(t *Transfer) {
 	if e.events == nil {
 		// Bare-engine tests: deliver eagerly in one piece.
+		data := e.snapshot(t)
 		if t.Remote {
 			if err := e.remote.Deliver(t.Node, t.RemoteAddr, data, t.End); err != nil {
 				t.Failed = true
@@ -177,52 +228,40 @@ func (e *Engine) schedule(t *Transfer, data []byte) {
 			t.Failed = true
 			return
 		}
-		finish()
+		e.finish(t)
 		return
 	}
 	if t.Size == 0 {
-		e.events.Schedule(t.End, func(sim.Time) { finish() })
+		e.events.ScheduleFunc(t.End, func(sim.Time) { e.finish(t) })
 		return
 	}
 	if t.Remote {
-		// Snapshot the whole payload at acceptance (the data slice) and
-		// ship it when the engine finishes streaming it out.
-		e.events.Schedule(t.End, func(at sim.Time) {
+		// Snapshot the whole payload at acceptance and ship it when the
+		// engine finishes streaming it out.
+		data := e.snapshot(t)
+		e.events.ScheduleFunc(t.End, func(at sim.Time) {
 			if err := e.remote.Deliver(t.Node, t.RemoteAddr, data, at); err != nil {
 				t.Failed = true
 				return
 			}
-			finish()
+			e.finish(t)
 		})
 		return
 	}
 	chunks := int((t.Size + transferChunk - 1) / transferChunk)
+	bufN := uint64(transferChunk)
+	if t.Size < bufN {
+		bufN = t.Size
+	}
+	w := &localWalker{e: e, t: t, buf: make([]byte, bufN)}
+	step := w.step // one bound closure shared by every burst
 	span := t.End - t.Start
 	for i := 0; i < chunks; i++ {
-		i := i
-		lo := uint64(i) * transferChunk
-		hi := lo + transferChunk
+		hi := uint64(i)*transferChunk + transferChunk
 		if hi > t.Size {
 			hi = t.Size
 		}
 		// Chunk i lands when its last byte has streamed.
-		at := t.Start + sim.Time(uint64(span)*hi/t.Size)
-		e.events.Schedule(at, func(sim.Time) {
-			if t.Failed {
-				return
-			}
-			chunk, err := e.mem.ReadBytes(t.Src+phys.Addr(lo), int(hi-lo))
-			if err != nil {
-				t.Failed = true
-				return
-			}
-			if err := e.mem.WriteBytes(t.Dst+phys.Addr(lo), chunk); err != nil {
-				t.Failed = true
-				return
-			}
-			if hi == t.Size {
-				finish()
-			}
-		})
+		e.events.ScheduleFunc(t.Start+sim.Time(uint64(span)*hi/t.Size), step)
 	}
 }

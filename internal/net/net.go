@@ -220,7 +220,9 @@ func (f *Fabric) Deliver(node int, addr phys.Addr, data []byte, at sim.Time) err
 	}
 	f.lastInto[node] = arrive
 	payload := append([]byte(nil), data...)
-	f.cluster.Events.Schedule(arrive, func(sim.Time) {
+	// Fire-and-forget: arrival events are never cancelled, so use the
+	// queue's pooled no-handle path.
+	f.cluster.Events.ScheduleFunc(arrive, func(sim.Time) {
 		// Memory size was checked at send time; a failure here is a
 		// model bug.
 		if err := dst.Mem.WriteBytes(addr, payload); err != nil {

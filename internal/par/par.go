@@ -1,0 +1,175 @@
+// Package par is the repository's bounded worker-pool and
+// deterministic-merge layer.
+//
+// Every quantitative artifact in this repository is produced by running
+// many *independent, deterministic* simulated worlds: one world per
+// (method, config, seed) measurement cell, one world per explored
+// schedule prefix, one world per adversarial campaign. Worlds share no
+// mutable state — each owns its clock, memory, bus, engine and guest
+// goroutines — so they parallelize perfectly across host cores, while
+// each individual world stays single-goroutine and bit-for-bit
+// deterministic.
+//
+// The contract this package enforces:
+//
+//   - Order preservation: Map returns results in job-index order, so a
+//     parallel sweep emits byte-identical tables to a serial one.
+//   - Deterministic first-error propagation: the error returned is the
+//     error of the LOWEST-INDEXED failing job, regardless of which
+//     worker hit an error first on the wall clock.
+//   - Bounded workers: at most W jobs run concurrently; W <= 1 degrades
+//     to a plain serial loop with no goroutines at all.
+//   - Cancellation: a context cancels the pool between jobs; the
+//     lowest-indexed error still wins over the cancellation error when
+//     both occur.
+//   - Seed splitting: SplitSeed derives statistically independent
+//     per-job RNG seeds from one base seed, so seeded experiments
+//     shard without correlated streams.
+package par
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count request: values <= 0 select
+// runtime.GOMAXPROCS(0) (the tools' -procs default).
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Do runs fn(0) .. fn(n-1) on at most workers concurrent goroutines and
+// waits for completion. If any job fails, Do returns the error of the
+// lowest-indexed failing job; jobs with higher indices than a known
+// failure are skipped (their worlds are independent, so skipping cannot
+// change lower-indexed results).
+func Do(n, workers int, fn func(i int) error) error {
+	return DoCtx(context.Background(), n, workers, fn)
+}
+
+// DoCtx is Do with cancellation: when ctx is cancelled no new jobs
+// start, and ctx.Err() is returned unless a lower-indexed job error
+// supersedes it.
+func DoCtx(ctx context.Context, n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		// Serial fast path: no goroutines, no atomics.
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next     atomic.Int64 // next job index to hand out
+		firstErr atomic.Int64 // lowest failing index so far (n = none)
+		mu       sync.Mutex
+		errs     map[int]error
+		wg       sync.WaitGroup
+	)
+	firstErr.Store(int64(n))
+	record := func(i int, err error) {
+		mu.Lock()
+		if errs == nil {
+			errs = make(map[int]error)
+		}
+		errs[i] = err
+		mu.Unlock()
+		for {
+			cur := firstErr.Load()
+			if int64(i) >= cur {
+				return
+			}
+			if firstErr.CompareAndSwap(cur, int64(i)) {
+				return
+			}
+		}
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				if int64(i) > firstErr.Load() {
+					// A lower-indexed job already failed; this job's
+					// outcome can no longer matter.
+					continue
+				}
+				if ctx.Err() != nil {
+					return
+				}
+				if err := fn(i); err != nil {
+					record(i, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if idx := firstErr.Load(); idx < int64(n) {
+		mu.Lock()
+		defer mu.Unlock()
+		return errs[int(idx)]
+	}
+	return ctx.Err()
+}
+
+// Map runs fn for every index in [0, n) on at most workers concurrent
+// goroutines and returns the results in index order. Error semantics
+// match Do: the lowest-indexed job error wins and nil results are
+// returned alongside it.
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	return MapCtx(context.Background(), n, workers, fn)
+}
+
+// MapCtx is Map with cancellation.
+func MapCtx[T any](ctx context.Context, n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	if n < 0 {
+		n = 0
+	}
+	out := make([]T, n)
+	err := DoCtx(ctx, n, workers, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SplitSeed derives the i-th child seed from a base seed using a
+// SplitMix64-style finalizer over (base, i). Children of one base are
+// statistically independent streams, and the derivation is pure: the
+// same (base, i) always yields the same child, regardless of worker
+// scheduling — the property that keeps seeded parallel sweeps
+// reproducible.
+func SplitSeed(base uint64, i int) uint64 {
+	z := base + 0x9e3779b97f4a7c15*uint64(i+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,290 @@
+package proc
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"uldma/internal/par"
+)
+
+// Parallel exploration.
+//
+// Explore's schedule tree is embarrassingly parallel: every node replays
+// its prefix on a *fresh* world, so two subtrees share no state at all.
+// ExploreParallel shards the tree by schedule prefix — it expands the
+// root into a frontier of prefixes in DFS order, explores each prefix's
+// subtree on a bounded worker pool, and then merges the per-subtree
+// results *in frontier order*, reconstructing exactly the state the
+// serial explorer would have had when it reached each subtree.
+//
+// The merge is what makes the parallel result bit-for-bit identical to
+// the serial one:
+//
+//   - Schedules counts compose by summation in DFS order.
+//   - The surviving counterexample is the one in the earliest subtree —
+//     i.e. the first in serial DFS order — regardless of which worker
+//     found its own counterexample first on the wall clock.
+//   - The budget check happens at every node entry in the serial
+//     explorer, so the budget error fires exactly when the cumulative
+//     schedule count reaches maxSchedules while nodes remain. The merge
+//     recomputes that point from per-subtree counts.
+//
+// Workers never publish partial state; each returns a subtreeResult and
+// the single merge goroutine assembles the answer. The simulated worlds
+// themselves stay single-goroutine — parallelism exists only *between*
+// worlds (see internal/par).
+
+// subtreeResult is one worker's summary of a fully- or partially-
+// explored subtree.
+type subtreeResult struct {
+	schedules int   // complete schedules executed in this subtree
+	cex       []int // first counterexample in subtree DFS order, or nil
+	cexErr    error
+	ierr      error // infrastructure error (factory/replay/run), or nil
+	ierrAt    int   // schedules completed in-subtree before ierr
+	capped    bool  // stopped by the local schedule budget
+}
+
+// Sentinel errors used to unwind the worker DFS and to signal the pool.
+var (
+	errSubtreeCapped  = errors.New("proc: subtree budget cap")
+	errSubtreeAborted = errors.New("proc: subtree aborted")
+	errSubtreeFound   = errors.New("proc: subtree finding") // pool-level sentinel
+)
+
+// frontierItem is one shard of the schedule tree: the subtree rooted at
+// prefix. Items are generated and kept in serial DFS order.
+type frontierItem struct {
+	prefix []int
+	leaf   bool  // the prefix is already a complete schedule
+	err    error // infrastructure error discovered while expanding here
+}
+
+// ExploreParallel is Explore with the subtree work fanned out across
+// workers goroutines. It returns a bit-for-bit identical ExploreResult
+// (same Schedules count, same Counterexample, same error — including
+// the budget-exhaustion error) for any worker count, provided factory
+// is deterministic. workers <= 1 runs the serial explorer unchanged;
+// workers <= 0 selects runtime.GOMAXPROCS(0).
+//
+// factory must be safe to call from multiple goroutines concurrently:
+// each call must build a completely independent world (the exploration
+// contract already requires worlds to share no mutable state).
+func ExploreParallel(factory WorldFactory, maxDepth, maxSchedules, workers int) (ExploreResult, error) {
+	workers = par.Workers(workers)
+	if workers <= 1 {
+		return Explore(factory, maxDepth, maxSchedules)
+	}
+	if maxSchedules <= 0 {
+		maxSchedules = 1 << 20
+	}
+
+	// Phase 1: expand the frontier serially, in DFS order, until there
+	// are enough independent subtrees to keep the pool busy. Interior
+	// nodes expanded here are exactly the nodes the serial explorer
+	// would have replayed on its way down; leaves stay in the frontier
+	// and are re-run by workers (worlds are disposable and cheap).
+	items := expandFrontier(factory, maxDepth, workers*4)
+
+	// Phase 2: explore each subtree independently. results[i] is only
+	// written by job i; stopAfter carries the lowest item index with a
+	// terminal finding so later subtrees can abort early (their results
+	// can no longer influence the merge).
+	results := make([]subtreeResult, len(items))
+	var stopAfter atomic.Int64
+	stopAfter.Store(int64(len(items)))
+	lower := func(i int) {
+		for {
+			cur := stopAfter.Load()
+			if int64(i) >= cur || stopAfter.CompareAndSwap(cur, int64(i)) {
+				return
+			}
+		}
+	}
+	poolErr := par.Do(len(items), workers, func(i int) error {
+		if items[i].err != nil {
+			// Expansion already failed here; the merge reports it.
+			lower(i)
+			return errSubtreeFound
+		}
+		abort := func() bool { return int64(i) > stopAfter.Load() }
+		results[i] = exploreSubtree(factory, items[i].prefix, maxDepth, maxSchedules, abort)
+		r := &results[i]
+		if r.cex != nil || r.ierr != nil || r.capped {
+			lower(i)
+			return errSubtreeFound
+		}
+		return nil
+	})
+	if poolErr != nil && !errors.Is(poolErr, errSubtreeFound) {
+		return ExploreResult{}, poolErr
+	}
+
+	// Phase 3: deterministic merge in frontier (= serial DFS) order.
+	return mergeSubtrees(items, results, maxSchedules)
+}
+
+// expandFrontier grows the root prefix into at least target subtree
+// roots (when the tree is wide enough), preserving serial DFS order.
+// Expansion stops early at an infrastructure error: items after the
+// failing node can never affect the merged result and are dropped.
+func expandFrontier(factory WorldFactory, maxDepth, target int) []frontierItem {
+	items := []frontierItem{{prefix: nil}}
+	for len(items) < target {
+		out := make([]frontierItem, 0, len(items)*2)
+		grew := false
+		for k, it := range items {
+			if it.leaf || it.err != nil || len(out)+len(items)-k >= target {
+				// Done expanding, or already enough items: keep the
+				// rest as-is (order preserved).
+				out = append(out, items[k:]...)
+				break
+			}
+			w, err := factory()
+			if err != nil {
+				out = append(out, frontierItem{prefix: it.prefix, err: err})
+				items = out
+				return items // later items can never matter
+			}
+			alive, err := replay(w.Runner, it.prefix)
+			if err != nil {
+				w.Runner.Shutdown()
+				out = append(out, frontierItem{prefix: it.prefix, err: err})
+				items = out
+				return items
+			}
+			if len(alive) == 0 || len(it.prefix) >= maxDepth {
+				w.Runner.Shutdown()
+				out = append(out, frontierItem{prefix: it.prefix, leaf: true})
+				continue
+			}
+			w.Runner.Shutdown()
+			for _, idx := range alive {
+				child := append(append([]int(nil), it.prefix...), idx)
+				out = append(out, frontierItem{prefix: child})
+			}
+			grew = true
+		}
+		items = out
+		if !grew {
+			break // every item is a leaf: the tree is this narrow
+		}
+	}
+	return items
+}
+
+// exploreSubtree runs the serial DFS over the subtree rooted at root,
+// with a local schedule budget of cap (the global budget is always an
+// upper bound on what any one subtree may contribute). abort is polled
+// at every node entry; an aborted subtree's result is never read.
+func exploreSubtree(factory WorldFactory, root []int, maxDepth, cap int, abort func() bool) subtreeResult {
+	var r subtreeResult
+	var dfs func(prefix []int) (bool, error)
+	dfs = func(prefix []int) (bool, error) {
+		if abort() {
+			return false, errSubtreeAborted
+		}
+		// Mirrors the serial explorer: budget first, then world build.
+		if r.schedules >= cap {
+			return false, errSubtreeCapped
+		}
+		w, err := factory()
+		if err != nil {
+			return false, err
+		}
+		alive, err := replay(w.Runner, prefix)
+		if err != nil {
+			w.Runner.Shutdown()
+			return false, err
+		}
+		if len(alive) == 0 || len(prefix) >= maxDepth {
+			if err := w.Runner.Run(NewRoundRobin(1<<20), 1<<62); err != nil {
+				return false, err
+			}
+			r.schedules++
+			if err := w.Check(); err != nil {
+				r.cex = append([]int(nil), prefix...)
+				r.cexErr = err
+				return true, nil
+			}
+			return false, nil
+		}
+		w.Runner.Shutdown()
+		for _, idx := range alive {
+			next := append(append([]int(nil), prefix...), idx)
+			found, err := dfs(next)
+			if err != nil || found {
+				return found, err
+			}
+		}
+		return false, nil
+	}
+	_, err := dfs(root)
+	switch {
+	case err == nil || errors.Is(err, errSubtreeAborted):
+		// Clean completion, or moot: nothing more to record.
+	case errors.Is(err, errSubtreeCapped):
+		r.capped = true
+	default:
+		r.ierr = err
+		r.ierrAt = r.schedules
+	}
+	return r
+}
+
+// mergeSubtrees folds per-subtree results in DFS order, reconstructing
+// the serial explorer's Schedules counter, counterexample choice, and
+// budget-error firing point exactly.
+func mergeSubtrees(items []frontierItem, results []subtreeResult, maxSchedules int) (ExploreResult, error) {
+	budgetErr := func() (ExploreResult, error) {
+		return ExploreResult{Schedules: maxSchedules},
+			fmt.Errorf("proc: exploration budget (%d schedules) exhausted", maxSchedules)
+	}
+	cum := 0
+	for i := range items {
+		// The serial explorer checks the budget on entry to every node;
+		// each remaining subtree has at least one node.
+		if maxSchedules-cum <= 0 {
+			return budgetErr()
+		}
+		remaining := maxSchedules - cum
+		if err := items[i].err; err != nil {
+			// Expansion failed at this node before any of its leaves
+			// ran — serially, the error surfaces here with cum
+			// schedules completed.
+			return ExploreResult{Schedules: cum}, err
+		}
+		sub := &results[i]
+		switch {
+		case sub.ierr != nil:
+			if sub.ierrAt >= remaining {
+				// The serial run would have exhausted the budget at a
+				// node entered before the failing one.
+				return budgetErr()
+			}
+			return ExploreResult{Schedules: cum + sub.ierrAt}, sub.ierr
+		case sub.cex != nil:
+			if sub.schedules > remaining {
+				// The counterexample leaf lies beyond the budget: the
+				// node-entry budget check fires first serially.
+				return budgetErr()
+			}
+			return ExploreResult{
+				Schedules:         cum + sub.schedules,
+				Counterexample:    sub.cex,
+				CounterexampleErr: sub.cexErr,
+			}, nil
+		case sub.capped:
+			// The subtree alone holds >= maxSchedules schedules plus at
+			// least one more node; the budget fires within it.
+			return budgetErr()
+		default:
+			if sub.schedules > remaining {
+				return budgetErr()
+			}
+			cum += sub.schedules
+		}
+	}
+	return ExploreResult{Schedules: cum}, nil
+}

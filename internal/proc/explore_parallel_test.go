@@ -1,0 +1,131 @@
+package proc
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"uldma/internal/bus"
+	"uldma/internal/cpu"
+	"uldma/internal/phys"
+	"uldma/internal/sim"
+	"uldma/internal/vm"
+)
+
+// straightLineFactory: two 3-slot straight-line processes, a full tree
+// of C(6,3) = 20 schedules with no counterexample.
+func straightLineFactory() (*World, error) {
+	clock := sim.NewClock()
+	mem := phys.New(1 << 16)
+	b := bus.New(clock, 12_500_000, bus.CostConfig{StoreCycles: 6, LoadRequestCycles: 4, LoadReplyCycles: 3})
+	wb := bus.NewWriteBuffer(b, 8, true)
+	c := cpu.New(cpu.Config{Freq: 150 * sim.MHz, IssueCycles: 1, CacheHitCycles: 2, TLBEntries: 8},
+		clock, sim.NewEventQueue(), mem, b, wb)
+	r := NewRunner(c, RunnerConfig{})
+	body := func(ctx *Context) error {
+		ctx.Spin(1)
+		ctx.Spin(1)
+		return nil
+	}
+	r.Spawn("a", vm.NewAddressSpace(1, 8192), body)
+	r.Spawn("b", vm.NewAddressSpace(2, 8192), body)
+	return &World{Runner: r, Check: func() error { return nil }}, nil
+}
+
+// assertSameExplore compares a serial and a parallel exploration result
+// bit for bit, including error presence and text.
+func assertSameExplore(t *testing.T, label string, sr ExploreResult, serr error, pr ExploreResult, perr error) {
+	t.Helper()
+	if (serr == nil) != (perr == nil) {
+		t.Fatalf("%s: serial err=%v parallel err=%v", label, serr, perr)
+	}
+	if serr != nil && serr.Error() != perr.Error() {
+		t.Fatalf("%s: error text differs:\n  serial:   %v\n  parallel: %v", label, serr, perr)
+	}
+	if sr.Schedules != pr.Schedules {
+		t.Fatalf("%s: schedules %d (serial) != %d (parallel)", label, sr.Schedules, pr.Schedules)
+	}
+	if !reflect.DeepEqual(sr.Counterexample, pr.Counterexample) {
+		t.Fatalf("%s: counterexample %v (serial) != %v (parallel)", label, sr.Counterexample, pr.Counterexample)
+	}
+	se, pe := sr.CounterexampleErr, pr.CounterexampleErr
+	if (se == nil) != (pe == nil) || (se != nil && se.Error() != pe.Error()) {
+		t.Fatalf("%s: counterexample err %v (serial) != %v (parallel)", label, se, pe)
+	}
+}
+
+// TestExploreParallelParityCleanTree: a full clean tree merges to the
+// identical schedule count for every worker count.
+func TestExploreParallelParityCleanTree(t *testing.T) {
+	sr, serr := Explore(straightLineFactory, 12, 10_000)
+	for _, w := range []int{2, 3, 4, 8} {
+		pr, perr := ExploreParallel(straightLineFactory, 12, 10_000, w)
+		assertSameExplore(t, fmt.Sprintf("clean/workers=%d", w), sr, serr, pr, perr)
+	}
+	if sr.Schedules != 20 {
+		t.Fatalf("schedules = %d, want 20", sr.Schedules)
+	}
+}
+
+// TestExploreParallelParityCounterexample: the lost-update race must
+// yield the SAME first counterexample (in DFS order) and the same
+// schedule count at which it was found, for every worker count — even
+// though a later worker may find its own counterexample first on the
+// wall clock.
+func TestExploreParallelParityCounterexample(t *testing.T) {
+	factory := exploreFactory(t, false)
+	sr, serr := Explore(factory, 6, 10_000)
+	if serr != nil || sr.Counterexample == nil {
+		t.Fatalf("serial baseline: res=%+v err=%v", sr, serr)
+	}
+	for _, w := range []int{2, 3, 4, 8} {
+		pr, perr := ExploreParallel(factory, 6, 10_000, w)
+		assertSameExplore(t, fmt.Sprintf("cex/workers=%d", w), sr, serr, pr, perr)
+	}
+}
+
+// TestExploreParallelParityBudget: budget exhaustion fires at the same
+// point with the same error text regardless of worker count.
+func TestExploreParallelParityBudget(t *testing.T) {
+	for _, budget := range []int{1, 3, 7, 19, 20} {
+		sr, serr := Explore(straightLineFactory, 12, budget)
+		for _, w := range []int{2, 4} {
+			pr, perr := ExploreParallel(straightLineFactory, 12, budget, w)
+			assertSameExplore(t, fmt.Sprintf("budget=%d/workers=%d", budget, w), sr, serr, pr, perr)
+		}
+	}
+}
+
+// TestExploreParallelParityDepthZero: the degenerate one-schedule tree.
+func TestExploreParallelParityDepthZero(t *testing.T) {
+	sr, serr := Explore(straightLineFactory, 0, 100)
+	pr, perr := ExploreParallel(straightLineFactory, 0, 100, 4)
+	assertSameExplore(t, "depth0", sr, serr, pr, perr)
+	if sr.Schedules != 1 {
+		t.Fatalf("schedules = %d, want 1", sr.Schedules)
+	}
+}
+
+// TestExploreParallelFactoryError: a failing factory surfaces the same
+// error from the parallel path.
+func TestExploreParallelFactoryError(t *testing.T) {
+	boom := errors.New("factory boom")
+	factory := func() (*World, error) { return nil, boom }
+	_, serr := Explore(factory, 4, 100)
+	_, perr := ExploreParallel(factory, 4, 100, 4)
+	if !errors.Is(serr, boom) {
+		t.Fatalf("serial err = %v", serr)
+	}
+	if !errors.Is(perr, boom) {
+		t.Fatalf("parallel err = %v", perr)
+	}
+}
+
+// TestExploreParallelWorkersOne: workers <= 1 is exactly the serial
+// explorer (delegation, not reimplementation).
+func TestExploreParallelWorkersOne(t *testing.T) {
+	sr, serr := Explore(straightLineFactory, 12, 10_000)
+	pr, perr := ExploreParallel(straightLineFactory, 12, 10_000, 1)
+	assertSameExplore(t, "workers=1", sr, serr, pr, perr)
+}

@@ -1,0 +1,59 @@
+package sim
+
+import "testing"
+
+// The event queue is the hottest object in the simulator: every DMA
+// burst, packet arrival and timer goes through it. The benchmarks pin
+// the allocation behaviour of the two scheduling paths — Schedule
+// returns a cancellable handle and must allocate a fresh Event (handles
+// may outlive the firing), while ScheduleFunc recycles fired events
+// through the queue's free list and must reach zero allocs/op once the
+// pool is warm.
+
+func BenchmarkSchedule(b *testing.B) {
+	q := NewEventQueue()
+	fire := func(Time) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Schedule(Time(i), fire)
+		q.RunUntil(Time(i + 1))
+	}
+}
+
+func BenchmarkScheduleFunc(b *testing.B) {
+	q := NewEventQueue()
+	fire := func(Time) {}
+	// Warm the pool: the first round allocates the one Event that is
+	// recycled forever after.
+	q.ScheduleFunc(0, fire)
+	q.RunUntil(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.ScheduleFunc(Time(i+1), fire)
+		q.RunUntil(Time(i + 2))
+	}
+}
+
+// BenchmarkScheduleFuncBurst models a DMA transfer: a batch of events
+// scheduled up front, then drained in order.
+func BenchmarkScheduleFuncBurst(b *testing.B) {
+	q := NewEventQueue()
+	fire := func(Time) {}
+	const batch = 16
+	// Warm the pool to batch size.
+	for i := 0; i < batch; i++ {
+		q.ScheduleFunc(Time(i), fire)
+	}
+	q.RunUntil(batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := Time(batch + i*batch)
+		for k := 0; k < batch; k++ {
+			q.ScheduleFunc(base+Time(k), fire)
+		}
+		q.RunUntil(base + batch)
+	}
+}

@@ -13,12 +13,21 @@ type Event struct {
 	// advanced to at least At.
 	Fire func(now Time)
 
-	seq   uint64 // tie-breaker: FIFO among events with equal At
-	index int    // heap bookkeeping; -1 once popped or cancelled
+	seq    uint64 // tie-breaker: FIFO among events with equal At
+	index  int    // heap bookkeeping; see the sentinels below
+	pooled bool   // recycled through the queue's free list after firing
 }
 
+// index sentinels. A live event's index is its heap position (>= 0);
+// negative values record why it left the heap, so stale handles can
+// never alias a live slot.
+const (
+	idxFired     = -1 // popped by RunUntil/Drain (or mid-removal)
+	idxCancelled = -2 // removed by Cancel
+)
+
 // Cancelled reports whether the event was removed before firing.
-func (e *Event) Cancelled() bool { return e.index == -2 }
+func (e *Event) Cancelled() bool { return e.index == idxCancelled }
 
 // EventQueue is a deterministic time-ordered queue of events. Events with
 // the same timestamp fire in the order they were scheduled, which keeps
@@ -27,15 +36,19 @@ func (e *Event) Cancelled() bool { return e.index == -2 }
 // The queue does not own a clock; the machine drives it by calling
 // RunUntil with the clock's current time after every modelled cost.
 type EventQueue struct {
-	h   eventHeap
-	seq uint64
+	h    eventHeap
+	seq  uint64
+	free []*Event // recycled ScheduleFunc events (no outstanding handles)
 }
 
 // NewEventQueue returns an empty queue.
 func NewEventQueue() *EventQueue { return &EventQueue{} }
 
 // Schedule enqueues fire to run at time at and returns a handle that can
-// be passed to Cancel.
+// be passed to Cancel. Handle-returning events are never pooled: the
+// caller may hold the handle indefinitely, so recycling could alias a
+// stale handle onto a live event. Use ScheduleFunc on hot paths that
+// never cancel.
 func (q *EventQueue) Schedule(at Time, fire func(now Time)) *Event {
 	q.seq++
 	e := &Event{At: at, Fire: fire, seq: q.seq}
@@ -43,14 +56,46 @@ func (q *EventQueue) Schedule(at Time, fire func(now Time)) *Event {
 	return e
 }
 
-// Cancel removes a scheduled event. Cancelling an event that already fired
-// or was already cancelled is a no-op.
+// ScheduleFunc enqueues fire at time at without returning a handle.
+// Because no handle escapes, the Event object is recycled through an
+// internal free list once it fires, making repeated scheduling
+// allocation-free. This is the hot path used by DMA transfer walkers
+// and other fire-and-forget device activity.
+func (q *EventQueue) ScheduleFunc(at Time, fire func(now Time)) {
+	q.seq++
+	var e *Event
+	if n := len(q.free); n > 0 {
+		e = q.free[n-1]
+		q.free[n-1] = nil
+		q.free = q.free[:n-1]
+	} else {
+		e = &Event{pooled: true}
+	}
+	e.At, e.Fire, e.seq = at, fire, q.seq
+	heap.Push(&q.h, e)
+}
+
+// release returns a pooled event to the free list. Called after the
+// event has been popped and its Fire/At copied out.
+func (q *EventQueue) release(e *Event) {
+	if !e.pooled {
+		return
+	}
+	e.Fire = nil // drop the closure eagerly
+	q.free = append(q.free, e)
+}
+
+// Cancel removes a scheduled event. Cancelling an event that already
+// fired or was already cancelled is a no-op. Cancel validates that the
+// handle actually occupies its claimed heap slot in THIS queue before
+// touching the heap, so a stale or foreign handle can never evict an
+// innocent event or corrupt heap order.
 func (q *EventQueue) Cancel(e *Event) {
-	if e == nil || e.index < 0 {
+	if e == nil || e.index < 0 || e.index >= len(q.h) || q.h[e.index] != e {
 		return
 	}
 	heap.Remove(&q.h, e.index)
-	e.index = -2
+	e.index = idxCancelled
 }
 
 // Len reports how many events are pending.
@@ -71,8 +116,9 @@ func (q *EventQueue) NextAt() Time {
 func (q *EventQueue) RunUntil(t Time) {
 	for len(q.h) > 0 && q.h[0].At <= t {
 		e := heap.Pop(&q.h).(*Event)
-		e.index = -1
-		e.Fire(e.At)
+		fire, at := e.Fire, e.At
+		q.release(e) // recycle before firing: fire may reschedule
+		fire(at)
 	}
 }
 
@@ -83,11 +129,12 @@ func (q *EventQueue) Drain(start Time) Time {
 	last := start
 	for len(q.h) > 0 {
 		e := heap.Pop(&q.h).(*Event)
-		e.index = -1
-		if e.At > last {
-			last = e.At
+		fire, at := e.Fire, e.At
+		if at > last {
+			last = at
 		}
-		e.Fire(e.At)
+		q.release(e)
+		fire(at)
 	}
 	return last
 }
@@ -118,5 +165,10 @@ func (h *eventHeap) Pop() any {
 	e := old[n-1]
 	old[n-1] = nil
 	*h = old[:n-1]
+	// Mark the element as out-of-heap HERE, not in the callers: every
+	// removal path (RunUntil, Drain, heap.Remove via Cancel) funnels
+	// through this method, so no window exists in which a removed
+	// event still advertises a live-looking index.
+	e.index = idxFired
 	return e
 }

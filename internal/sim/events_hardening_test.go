@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestCancelStaleHandleIsHarmless: cancelling a handle after its event
+// has fired — even when OTHER live events now occupy the heap slots the
+// stale index points at — must not evict an innocent event or disturb
+// firing order. This is the popped-then-cancelled corruption the index
+// sentinels guard against.
+func TestCancelStaleHandleIsHarmless(t *testing.T) {
+	q := NewEventQueue()
+	var fired []string
+	mk := func(name string, at Time) *Event {
+		return q.Schedule(at, func(Time) { fired = append(fired, name) })
+	}
+	a := mk("a", 10)
+	mk("b", 20)
+	mk("c", 30)
+	q.RunUntil(10) // fires a; its stale index now aliases a live slot
+	if a.Cancelled() {
+		t.Fatal("fired event reports Cancelled")
+	}
+	q.Cancel(a) // stale: must be a no-op
+	q.Cancel(a) // double-cancel of a stale handle: still a no-op
+	q.RunUntil(100)
+	if want := []string{"a", "b", "c"}; !reflect.DeepEqual(fired, want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+}
+
+// TestCancelForeignHandleIsHarmless: a handle scheduled on one queue
+// passed to another queue's Cancel must not touch the second heap, even
+// when the index is in range there.
+func TestCancelForeignHandleIsHarmless(t *testing.T) {
+	q1, q2 := NewEventQueue(), NewEventQueue()
+	var fired []string
+	foreign := q1.Schedule(10, func(Time) { fired = append(fired, "q1") })
+	q2.Schedule(10, func(Time) { fired = append(fired, "q2-a") })
+	q2.Schedule(20, func(Time) { fired = append(fired, "q2-b") })
+	q2.Cancel(foreign) // in-range index, wrong queue: must be a no-op
+	q2.RunUntil(100)
+	q1.RunUntil(100)
+	if want := []string{"q2-a", "q2-b", "q1"}; !reflect.DeepEqual(fired, want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	if foreign.Cancelled() {
+		t.Fatal("foreign handle marked cancelled by wrong queue")
+	}
+}
+
+// TestScheduleCancelFireInterleaved: a torture mix of scheduling,
+// cancelling (live, stale, double) and firing keeps the heap sound and
+// the surviving events firing in (At, seq) order.
+func TestScheduleCancelFireInterleaved(t *testing.T) {
+	q := NewEventQueue()
+	var fired []int
+	handles := map[int]*Event{}
+	sched := func(id int, at Time) {
+		handles[id] = q.Schedule(at, func(Time) { fired = append(fired, id) })
+	}
+	// Wave 1: six events, two cancelled while live.
+	for id, at := range map[int]Time{1: 50, 2: 10, 3: 30, 4: 30, 5: 70, 6: 20} {
+		sched(id, at)
+	}
+	q.Cancel(handles[3]) // live cancel middle-of-heap
+	q.Cancel(handles[2]) // live cancel heap root
+	if !handles[3].Cancelled() || !handles[2].Cancelled() {
+		t.Fatal("live cancels not recorded")
+	}
+	q.RunUntil(30) // fires 6 (t=20) and 4 (t=30)
+	// Wave 2: cancel fired and already-cancelled handles (all no-ops),
+	// then add more events, including one at a time already passed.
+	q.Cancel(handles[6])
+	q.Cancel(handles[4])
+	q.Cancel(handles[2])
+	sched(7, 40)
+	sched(8, 60)
+	sched(9, 5) // in the past: fires first on the next run
+	q.Cancel(handles[8])
+	q.RunUntil(200)
+	if want := []int{6, 4, 9, 7, 1, 5}; !reflect.DeepEqual(fired, want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("%d events left", q.Len())
+	}
+}
+
+// TestCancelFromWithinFire: an event's Fire cancelling a later pending
+// event must work, and cancelling an event that fired earlier in the
+// same RunUntil must be a no-op.
+func TestCancelFromWithinFire(t *testing.T) {
+	q := NewEventQueue()
+	var fired []string
+	var early, victim *Event
+	early = q.Schedule(10, func(Time) { fired = append(fired, "early") })
+	q.Schedule(20, func(Time) {
+		fired = append(fired, "canceller")
+		q.Cancel(victim) // pending: removed
+		q.Cancel(early)  // already fired this RunUntil: no-op
+	})
+	victim = q.Schedule(30, func(Time) { fired = append(fired, "victim") })
+	q.Schedule(40, func(Time) { fired = append(fired, "tail") })
+	q.RunUntil(100)
+	if want := []string{"early", "canceller", "tail"}; !reflect.DeepEqual(fired, want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	if !victim.Cancelled() {
+		t.Fatal("victim not marked cancelled")
+	}
+}
+
+// TestScheduleFuncOrderingAndReuse: pooled events interleave with
+// handle-returning ones in strict (At, seq) order, and recycling across
+// RunUntil calls reuses the same backing objects without breaking FIFO
+// ties.
+func TestScheduleFuncOrderingAndReuse(t *testing.T) {
+	q := NewEventQueue()
+	var fired []string
+	for round := 0; round < 3; round++ {
+		base := Time(round * 100)
+		q.ScheduleFunc(base+20, func(Time) { fired = append(fired, fmt.Sprintf("r%d-p20a", round)) })
+		q.Schedule(base+20, func(Time) { fired = append(fired, fmt.Sprintf("r%d-h20", round)) })
+		q.ScheduleFunc(base+20, func(Time) { fired = append(fired, fmt.Sprintf("r%d-p20b", round)) })
+		q.ScheduleFunc(base+10, func(Time) { fired = append(fired, fmt.Sprintf("r%d-p10", round)) })
+		q.RunUntil(base + 99)
+	}
+	var want []string
+	for r := 0; r < 3; r++ {
+		want = append(want,
+			fmt.Sprintf("r%d-p10", r), fmt.Sprintf("r%d-p20a", r),
+			fmt.Sprintf("r%d-h20", r), fmt.Sprintf("r%d-p20b", r))
+	}
+	if !reflect.DeepEqual(fired, want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+}
+
+// TestScheduleFuncRescheduleFromFire: a pooled event's Fire scheduling
+// the next pooled event (the DMA walker pattern) reuses the freed slot
+// and never allocates past the first event.
+func TestScheduleFuncRescheduleFromFire(t *testing.T) {
+	q := NewEventQueue()
+	var hops int
+	var step func(now Time)
+	step = func(now Time) {
+		hops++
+		if hops < 10 {
+			q.ScheduleFunc(now+5, step)
+		}
+	}
+	q.ScheduleFunc(0, step)
+	end := q.Drain(0)
+	if hops != 10 {
+		t.Fatalf("hops = %d, want 10", hops)
+	}
+	if end != 45 {
+		t.Fatalf("last event at %v, want 45", end)
+	}
+	if got := len(q.free); got != 1 {
+		t.Fatalf("free list holds %d events, want 1 (the single recycled walker)", got)
+	}
+}

@@ -1,0 +1,73 @@
+package vm
+
+import (
+	"testing"
+
+	"uldma/internal/phys"
+)
+
+// TLB lookups sit on every simulated load/store. The fast path — the
+// one-entry index hint for repeated touches of the same page — must be
+// alloc-free and cheaper than the associative scan it short-circuits.
+
+func benchSpace(b *testing.B, pages int) (*AddressSpace, *TLB) {
+	b.Helper()
+	as := NewAddressSpace(1, 8192)
+	for i := 0; i < pages; i++ {
+		va := VAddr(0x10000 + uint64(i)*8192)
+		pa := phys.Addr(0x40000 + uint64(i)*8192)
+		if err := as.Map(va, pa, Read|Write); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return as, NewTLB(32)
+}
+
+// BenchmarkTLBTranslateSamePage: every access after the first hits the
+// one-entry fast path.
+func BenchmarkTLBTranslateSamePage(b *testing.B) {
+	as, tlb := benchSpace(b, 1)
+	if _, _, err := tlb.Translate(as, 0x10008, AccessLoad); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := tlb.Translate(as, 0x10008, AccessLoad); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTLBTranslateAlternate: two pages ping-pong, so the index
+// hint misses every time and the associative scan runs.
+func BenchmarkTLBTranslateAlternate(b *testing.B) {
+	as, tlb := benchSpace(b, 2)
+	vas := []VAddr{0x10008, 0x10000 + 8192 + 8}
+	for _, va := range vas {
+		if _, _, err := tlb.Translate(as, va, AccessLoad); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := tlb.Translate(as, vas[i&1], AccessLoad); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTLBTranslateMiss: 64 pages round-robin through a 32-entry
+// TLB, so every access misses, refills and evicts.
+func BenchmarkTLBTranslateMiss(b *testing.B) {
+	as, tlb := benchSpace(b, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		va := VAddr(0x10000 + uint64(i%64)*8192)
+		if _, _, err := tlb.Translate(as, va, AccessLoad); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

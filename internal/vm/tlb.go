@@ -19,6 +19,14 @@ type TLB struct {
 	entries []tlbEntry
 	tick    uint64
 	stats   TLBStats
+	// last is the index of the most recently hit or filled entry: a
+	// one-entry L0 in front of the associative scan. Guest code streams
+	// through buffers page by page, so the vast majority of lookups hit
+	// the same entry as their predecessor; checking it first turns the
+	// common case from an O(entries) scan into one tag compare. The
+	// index is only a hint — every use re-validates the full
+	// (asid, vpn, gen) tag, so stale hints are harmless.
+	last int
 }
 
 type tlbEntry struct {
@@ -74,6 +82,18 @@ func (t *TLB) FlushASID(asid int) {
 func (t *TLB) Translate(as *AddressSpace, va VAddr, access Access) (pa phys.Addr, hit bool, err error) {
 	t.tick++
 	vpn := uint64(va) / as.PageSize()
+	// L0 fast path: re-check the last entry used before scanning. The
+	// outcome (entry found, stats, LRU stamp) is identical to the scan
+	// finding the same entry — at most one entry can carry a given
+	// (asid, vpn, gen) tag, because fills happen only on misses.
+	if e := &t.entries[t.last]; e.valid && e.vpn == vpn && e.asid == as.ASID() && e.gen == as.Generation() {
+		if !e.pte.Prot.Can(access.Need()) {
+			return 0, true, &Fault{VA: va, Access: access, Kind: FaultProtection, ASID: as.ASID()}
+		}
+		e.used = t.tick
+		t.stats.Hits++
+		return e.pte.Frame + phys.Addr(uint64(va)%as.PageSize()), true, nil
+	}
 	for i := range t.entries {
 		e := &t.entries[i]
 		if e.valid && e.asid == as.ASID() && e.vpn == vpn && e.gen == as.Generation() {
@@ -82,6 +102,7 @@ func (t *TLB) Translate(as *AddressSpace, va VAddr, access Access) (pa phys.Addr
 			}
 			e.used = t.tick
 			t.stats.Hits++
+			t.last = i
 			return e.pte.Frame + phys.Addr(uint64(va)%as.PageSize()), true, nil
 		}
 	}
@@ -116,4 +137,5 @@ func (t *TLB) insert(as *AddressSpace, vpn uint64, pte PTE) {
 		asid: as.ASID(), vpn: vpn, gen: as.Generation(),
 		pte: pte, used: t.tick, valid: true,
 	}
+	t.last = victim
 }
