@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench ci baseline
+.PHONY: all build vet test race bench ci baseline golden
 
 all: ci
 
@@ -16,9 +16,17 @@ test:
 # The simulator's concurrency contract: one goroutine per simulated
 # world, parallelism only BETWEEN worlds (internal/par). The race
 # detector run backs that contract — every parity test drives the
-# parallel sweep/exploration drivers under -race.
+# experiment runner (internal/exp) under -race, and the root-level
+# golden/smoke tests (TestGolden, TestSmoke) pin every tool's rendered
+# bytes, so `ci` catches output drift as well as races.
 race:
 	$(GO) test -race ./...
+
+# Deliberately regenerate testdata/golden from the current tools after
+# an intentional output change. Diffs show up in review; CI fails on
+# unintentional drift.
+golden:
+	$(GO) test -run TestGolden -update .
 
 bench:
 	$(GO) test -bench . -benchmem -run XXX ./internal/sim ./internal/vm ./internal/bus ./internal/machine ./...

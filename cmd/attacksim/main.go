@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	userdma "uldma/internal/core"
+	"uldma/internal/exp"
 	"uldma/internal/isa"
 )
 
@@ -29,7 +30,13 @@ func main() {
 	schedule := flag.String("schedule", "", "custom slot schedule, e.g. VAAAVVAV")
 	seqLen := flag.Int("seqlen", 5, "engine sequence length for -victim mode (3, 4 or 5)")
 	shareA := flag.Bool("share-a", false, "give the attacker read access to page A")
+	list := flag.Bool("list", false, "list the registered experiments and exit")
 	flag.Parse()
+
+	if *list {
+		fmt.Print(exp.List())
+		return
+	}
 
 	if *victimSrc != "" {
 		if err := custom(*seqLen, *shareA, *victimSrc, *attackerSrc, *schedule); err != nil {
@@ -148,7 +155,7 @@ func figure8(attackerSlots, seeds, procs int) error {
 		return fmt.Errorf("the 5-access sequence was hijacked")
 	}
 
-	tried, hijack, err := userdma.ExhaustiveInterleavingsP(attackerSlots, procs)
+	tried, hijack, err := exp.ExhaustiveInterleavings(attackerSlots, procs)
 	if err != nil {
 		return err
 	}
@@ -160,7 +167,7 @@ func figure8(attackerSlots, seeds, procs int) error {
 	}
 	fmt.Println("none")
 
-	outcomes, err := userdma.RandomCampaignP(seeds, false, false, procs)
+	outcomes, err := exp.Campaign(seeds, false, false, procs)
 	if err != nil {
 		return err
 	}

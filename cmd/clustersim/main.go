@@ -4,21 +4,21 @@
 // node 1 polls and acknowledges. It reports per-message latency for
 // each initiation method, showing where OS-initiated DMA stops making
 // sense as links get faster (§1, §2.2).
+//
+// The measurement is the "clustersim" experiment in the internal/exp
+// registry: one independent two-node cluster world per initiation
+// method, fanned out on -procs worker goroutines with byte-identical
+// output for any worker count. -json emits the table as raw simulated
+// picoseconds.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
-	userdma "uldma/internal/core"
-	"uldma/internal/dma"
-	"uldma/internal/net"
-	"uldma/internal/phys"
-	"uldma/internal/proc"
-	"uldma/internal/sim"
-	"uldma/internal/stats"
-	"uldma/internal/vm"
+	"uldma/internal/exp"
 )
 
 func main() {
@@ -26,155 +26,48 @@ func main() {
 	size := flag.Uint64("size", 256, "message payload bytes")
 	gigabit := flag.Bool("gigabit", true, "use the Gigabit link preset (else ATM-155)")
 	hist := flag.Bool("hist", false, "print per-method latency histograms")
+	procs := flag.Int("procs", 0, "worker goroutines for independent cluster worlds (0 = GOMAXPROCS)")
+	jsonOut := flag.Bool("json", false, "emit results as one JSON document (raw simulated picoseconds)")
+	list := flag.Bool("list", false, "list the registered experiments and exit")
 	flag.Parse()
-	if err := run(*msgs, *size, *gigabit, *hist); err != nil {
+	if *list {
+		fmt.Print(exp.List())
+		return
+	}
+	if err := run(*msgs, *size, !*gigabit, *hist, *procs, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "clustersim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(msgs int, size uint64, gigabit, hist bool) error {
-	link := net.ATM155()
-	linkName := "ATM-155"
-	if gigabit {
-		link = net.Gigabit()
-		linkName = "Gigabit"
-	}
-	fmt.Printf("NOW message passing — 2 workstations, %s link, %d×%dB messages\n\n",
-		linkName, msgs, size)
-
-	methods := []userdma.Method{
-		userdma.KernelLevel{},
-		userdma.ExtShadow{},
-		userdma.KeyBased{},
-		userdma.RepeatedPassing{Len: 5, Barriers: true},
-	}
-	tb := stats.NewTable("initiation method", "msg latency", "initiation", "init share")
-	histograms := map[string]string{}
-	for _, method := range methods {
-		lat, initCost, sample, err := oneWayLatency(method, link, msgs, size)
-		if err != nil {
-			return fmt.Errorf("%s: %w", method.Name(), err)
-		}
-		tb.AddRow(method.Name(), lat, initCost,
-			fmt.Sprintf("%.0f%%", 100*float64(initCost)/float64(lat)))
-		if hist {
-			histograms[method.Name()] = sample.Histogram(8)
-		}
-	}
-	fmt.Println(tb)
-	if hist {
-		for _, method := range methods {
-			fmt.Printf("latency distribution — %s:\n%s\n", method.Name(), histograms[method.Name()])
-		}
-	}
-	fmt.Println("init share = fraction of one-way latency spent starting the DMA.")
-	fmt.Println("The faster the link, the more the kernel trap dominates — the paper's thesis.")
-	return nil
+// clusterJSON is the -json document.
+type clusterJSON struct {
+	Link    string
+	Msgs    int
+	MsgSize uint64
+	Rows    []exp.ClusterRow
 }
 
-// oneWayLatency measures mean send-to-receive latency: sender DMAs the
-// payload into the receiver's mailbox and remote-writes a sequence flag;
-// the receiver polls the flag.
-func oneWayLatency(method userdma.Method, link net.LinkConfig, msgs int, size uint64) (lat, initCost sim.Time, latencies *stats.Sample, err error) {
-	cfg := userdma.ConfigFor(method)
-	cluster, err := net.NewCluster(2, cfg, link)
+func run(msgs int, size uint64, atm, hist bool, procs int, jsonOut bool) error {
+	p := exp.Params{Msgs: msgs, MsgSize: size, ATM: atm, Hist: hist, Procs: procs}
+	r, err := exp.RunNamed("clustersim", p)
 	if err != nil {
-		return 0, 0, nil, err
+		return err
 	}
-	n0, n1 := cluster.Nodes[0], cluster.Nodes[1]
-
-	const (
-		srcVA    = vm.VAddr(0x10000) // sender payload page
-		remVA    = vm.VAddr(0x20000) // sender's window into the receiver
-		boxVA    = vm.VAddr(0x30000) // receiver's local mailbox
-		mailbox  = phys.Addr(0x80000)
-		flagSlot = 8160 // flag word near the end of the mailbox page
-	)
-
-	var sendTimes []sim.Time
-	var initSample, latSample stats.Sample
-
-	var h *userdma.Handle
-	sender := n0.NewProcess("sender", func(c *proc.Context) error {
-		for i := 0; i < msgs; i++ {
-			start := n0.Clock.Now()
-			st, err := h.DMA(c, srcVA, remVA, size)
-			if err != nil {
-				return err
-			}
-			if st == dma.StatusFailure {
-				return fmt.Errorf("message %d refused", i)
-			}
-			initSample.Add(n0.Clock.Now() - start)
-			sendTimes = append(sendTimes, start)
-			// Doorbell: remote-write the sequence number after the data.
-			if err := c.Store(remVA+flagSlot, phys.Size64, uint64(i+1)); err != nil {
-				return err
-			}
-			if err := c.MB(); err != nil {
-				return err
-			}
-			// Pace the sender so messages do not pile up in flight.
-			for n0.Clock.Now() < start+200*sim.Microsecond {
-				c.Spin(2000)
-			}
+	if jsonOut {
+		link := "Gigabit"
+		if atm {
+			link = "ATM-155"
 		}
-		return nil
-	})
-
-	receiver := n1.NewProcess("receiver", func(c *proc.Context) error {
-		for i := 0; i < msgs; i++ {
-			for {
-				v, err := c.Load(boxVA+flagSlot, phys.Size64)
-				if err != nil {
-					return err
-				}
-				if v >= uint64(i+1) {
-					break
-				}
-				c.Spin(500)
-			}
-			latSample.Add(n1.Clock.Now() - sendTimes[i])
-		}
-		return nil
-	})
-
-	// Sender setup. Attach first: context-carrying methods burn their
-	// context id into the shadow mappings created below.
-	h, err = method.Attach(n0, sender)
+		doc := clusterJSON{Link: link, Msgs: msgs, MsgSize: size, Rows: exp.ClusterRows(r)}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
+	}
+	s, err := exp.RenderNamed("clustersim", exp.Text, r, p)
 	if err != nil {
-		return 0, 0, nil, err
+		return err
 	}
-	frames, err := n0.SetupPages(sender, srcVA, 1, vm.Read|vm.Write)
-	if err != nil {
-		return 0, 0, nil, err
-	}
-	n0.Mem.Fill(frames[0], int(size), 0xab)
-	if err := n0.Kernel.MapRemote(sender, remVA, 1, mailbox); err != nil {
-		return 0, 0, nil, err
-	}
-	if err := n0.Kernel.MapShadow(sender, remVA); err != nil {
-		return 0, 0, nil, err
-	}
-	if s1, ok := method.(userdma.SHRIMP1); ok {
-		if err := s1.MapOutPage(n0, sender, srcVA, n0.Engine.Config().RemoteAddr(1, mailbox)); err != nil {
-			return 0, 0, nil, err
-		}
-	}
-	// Receiver setup: read-only view of its mailbox page.
-	if err := n1.Kernel.MapFrame(receiver.AddressSpace(), boxVA, mailbox, vm.Read); err != nil {
-		return 0, 0, nil, err
-	}
-
-	if err := cluster.RunRoundRobin(8, 1<<30); err != nil {
-		return 0, 0, nil, err
-	}
-	if sender.Err() != nil {
-		return 0, 0, nil, fmt.Errorf("sender: %w", sender.Err())
-	}
-	if receiver.Err() != nil {
-		return 0, 0, nil, fmt.Errorf("receiver: %w", receiver.Err())
-	}
-	return latSample.Mean(), initSample.Mean(), &latSample, nil
+	fmt.Print(s)
+	return nil
 }

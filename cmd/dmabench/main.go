@@ -7,12 +7,13 @@
 //
 //	dmabench [-iters N] [-sweep] [-contention] [-comparators] [-procs W] [-json]
 //
-// The default -iters 1000 matches the paper's measurement loop.
-// Independent measurement cells (one simulated machine each) run on
-// -procs worker goroutines (default: GOMAXPROCS); results are
-// byte-identical for any worker count. -json emits the raw numbers
-// (simulated picoseconds) as one JSON document for snapshotting and
-// regression comparison.
+// The default -iters 1000 matches the paper's measurement loop. Every
+// section is one experiment from the internal/exp registry (-list
+// enumerates them); independent measurement cells (one simulated
+// machine each) run on -procs worker goroutines (default: GOMAXPROCS)
+// with byte-identical output for any worker count. -json emits the raw
+// numbers (simulated picoseconds) as one JSON document for snapshotting
+// and regression comparison.
 package main
 
 import (
@@ -22,10 +23,8 @@ import (
 	"os"
 
 	userdma "uldma/internal/core"
-	"uldma/internal/machine"
-	"uldma/internal/par"
+	"uldma/internal/exp"
 	"uldma/internal/proc"
-	"uldma/internal/sim"
 	"uldma/internal/stats"
 	"uldma/internal/trace"
 	"uldma/internal/vm"
@@ -41,7 +40,13 @@ func main() {
 	trend := flag.Bool("trend", false, "also run the hardware-generation trend sweep (X7)")
 	procs := flag.Int("procs", 0, "worker goroutines for independent measurement cells (0 = GOMAXPROCS)")
 	jsonOut := flag.Bool("json", false, "emit results as one JSON document (raw simulated picoseconds)")
+	list := flag.Bool("list", false, "list the registered experiments and exit")
 	flag.Parse()
+
+	if *list {
+		fmt.Print(exp.List())
+		return
+	}
 
 	if *jsonOut {
 		if err := runJSON(*iters, *procs, *sweep, *comparators, *breakeven, *trend, *contention); err != nil {
@@ -52,7 +57,7 @@ func main() {
 	}
 
 	if *trend {
-		if err := runTrend(*iters, *procs); err != nil {
+		if err := section("trend", *iters, *procs); err != nil {
 			fmt.Fprintln(os.Stderr, "dmabench:", err)
 			os.Exit(1)
 		}
@@ -70,163 +75,77 @@ func main() {
 	}
 }
 
-// JSON output types: times are raw sim.Time values (picoseconds of
-// simulated time), exact integers suitable for byte-for-byte regression
-// comparison across code changes.
-type initiationJSON struct {
-	Method      string
-	Iterations  int
-	MeanPs      int64
-	MinPs       int64
-	MaxPs       int64
-	PaperMeanPs int64 `json:",omitempty"`
+// section runs one registry experiment and prints its text rendering.
+func section(name string, iters, procs int) error {
+	s, err := exp.Report(name, exp.Text, exp.Params{Iters: iters, Procs: procs})
+	if err != nil {
+		return err
+	}
+	fmt.Print(s)
+	return nil
 }
 
-type breakEvenJSON struct {
-	Size         uint64
-	InitiationPs int64
-	TransferPs   int64
-	InitShare    float64
-}
-
-type trendJSON struct {
-	Era             string
-	KernelInitPs    int64
-	UserInitPs      int64
-	KernelCrossover uint64
-}
-
+// benchJSON is the one JSON document -json emits: raw sim.Time values
+// (picoseconds of simulated time), exact integers suitable for
+// byte-for-byte regression comparison across code changes.
 type benchJSON struct {
 	Machine     string
 	Iters       int
-	Table1      []initiationJSON
-	Comparators []initiationJSON            `json:",omitempty"`
-	BusSweep    map[string][]initiationJSON `json:",omitempty"`
-	BreakEven   map[string][]breakEvenJSON  `json:",omitempty"`
-	Trend       []trendJSON                 `json:",omitempty"`
-	Contention  []initiationJSON            `json:",omitempty"`
-}
-
-func initJSON(r userdma.InitiationResult) initiationJSON {
-	return initiationJSON{
-		Method: r.Method, Iterations: r.Iterations,
-		MeanPs: int64(r.Mean), MinPs: int64(r.Min), MaxPs: int64(r.Max),
-		PaperMeanPs: int64(r.PaperMean),
-	}
+	Table1      []exp.InitiationRow
+	Comparators []exp.InitiationRow            `json:",omitempty"`
+	BusSweep    map[string][]exp.InitiationRow `json:",omitempty"`
+	BreakEven   map[string][]exp.BreakEvenRow  `json:",omitempty"`
+	Trend       []exp.TrendRow                 `json:",omitempty"`
+	Contention  []exp.InitiationRow            `json:",omitempty"`
 }
 
 // runJSON gathers every requested section and emits one JSON document.
 func runJSON(iters, procs int, sweep, comparators, breakeven, trend, contention bool) error {
-	doc := benchJSON{Machine: machine.Alpha3000TC(0, 0).Name, Iters: iters}
+	doc := benchJSON{Machine: exp.MachineName(), Iters: iters}
 
-	t1, err := userdma.Table1P(iters, procs)
+	t1, err := exp.Table1(iters, procs)
 	if err != nil {
 		return err
 	}
-	for _, r := range t1 {
-		doc.Table1 = append(doc.Table1, initJSON(r))
-	}
+	doc.Table1 = exp.InitRows(t1)
 	if comparators {
-		rs, err := measureComparators(iters, procs)
+		rs, err := exp.Comparators(iters, procs, exp.ComparatorMethods()[:4])
 		if err != nil {
 			return err
 		}
-		for _, r := range rs {
-			doc.Comparators = append(doc.Comparators, initJSON(r))
-		}
+		doc.Comparators = exp.InitRows(rs)
 	}
 	if sweep {
-		freqs := []sim.Hz{12_500_000, 33 * sim.MHz, 66 * sim.MHz}
-		res, err := userdma.BusSweepP(iters, freqs, procs)
+		groups, err := exp.BusSweep(iters, procs)
 		if err != nil {
 			return err
 		}
-		doc.BusSweep = make(map[string][]initiationJSON)
-		for _, f := range freqs {
-			var rows []initiationJSON
-			for _, r := range res[f] {
-				rows = append(rows, initJSON(r))
-			}
-			doc.BusSweep[f.String()] = rows
-		}
+		doc.BusSweep = exp.BusSweepJSON(groups)
 	}
 	if breakeven {
-		doc.BreakEven = make(map[string][]breakEvenJSON)
-		for _, m := range []userdma.Method{userdma.KernelLevel{}, userdma.ExtShadow{}} {
-			pts, err := userdma.BreakEvenP(m, userdma.DefaultSizes, procs)
-			if err != nil {
-				return err
-			}
-			var rows []breakEvenJSON
-			for _, pt := range pts {
-				rows = append(rows, breakEvenJSON{
-					Size: pt.Size, InitiationPs: int64(pt.Initiation),
-					TransferPs: int64(pt.Transfer), InitShare: pt.InitShare,
-				})
-			}
-			doc.BreakEven[m.Name()] = rows
+		groups, err := exp.BreakEven(procs)
+		if err != nil {
+			return err
 		}
+		doc.BreakEven = exp.BreakEvenJSON(groups)
 	}
 	if trend {
-		pts, err := userdma.TrendSweepP(iters, procs)
+		pts, err := exp.TrendSweep(iters, procs)
 		if err != nil {
 			return err
 		}
-		for _, pt := range pts {
-			doc.Trend = append(doc.Trend, trendJSON{
-				Era: pt.Era, KernelInitPs: int64(pt.KernelInit),
-				UserInitPs: int64(pt.UserInit), KernelCrossover: pt.KernelCrossover,
-			})
-		}
+		doc.Trend = exp.TrendRows(pts)
 	}
 	if contention {
-		res, err := userdma.ContextContention(userdma.ExtShadow{}, 6, iters/10+1)
+		rs, err := exp.Contention(iters, procs)
 		if err != nil {
 			return err
 		}
-		for _, r := range res {
-			doc.Contention = append(doc.Contention, initJSON(r))
-		}
+		doc.Contention = exp.InitRows(rs)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(doc)
-}
-
-// measureComparators measures the non-Table-1 methods, one machine per
-// cell, fanned out on the worker pool.
-func measureComparators(iters, procs int) ([]userdma.InitiationResult, error) {
-	methods := []userdma.Method{
-		userdma.PALCode{}, userdma.SHRIMP1{},
-		userdma.SHRIMP2{WithKernelMod: true}, userdma.FLASH{},
-	}
-	return par.Map(len(methods), procs, func(i int) (userdma.InitiationResult, error) {
-		m := methods[i]
-		cfg := machine.Alpha3000TC(m.EngineMode(), m.SeqLen())
-		return userdma.MeasureMethod(m, cfg, iters)
-	})
-}
-
-// runTrend prints experiment X7: the hardware-generation trend behind
-// the paper's motivation.
-func runTrend(iters, procs int) error {
-	fmt.Println("Hardware-generation trend (X7) — the motivating §1/§2.2 argument")
-	pts, err := userdma.TrendSweepP(iters, procs)
-	if err != nil {
-		return err
-	}
-	tb := stats.NewTable("era", "kernel init", "ext-shadow init", "ratio", "kernel break-even")
-	for _, pt := range pts {
-		tb.AddRow(pt.Era, pt.KernelInit, pt.UserInit,
-			stats.Ratio(pt.KernelInit, pt.UserInit),
-			fmt.Sprintf("%dB", pt.KernelCrossover))
-	}
-	fmt.Println(tb)
-	fmt.Println("Processors and buses speed up; the trap's cycle count grows — so the")
-	fmt.Println("kernel path's break-even keeps receding while user-level initiation")
-	fmt.Println("rides the hardware. Exactly the trend the paper opens with.")
-	fmt.Println()
-	return nil
 }
 
 // runTrace records and prints the wire-level view of one initiation per
@@ -294,101 +213,35 @@ func run(iters, procs int, sweep, contention, comparators, breakeven bool) error
 	fmt.Println("Initiation methods")
 	fmt.Println(ov)
 
-	fmt.Printf("Table 1 — DMA initiation time (%d initiations/method)\n", iters)
-	fmt.Printf("machine: %s\n\n", machine.Alpha3000TC(0, 0).Name)
-
-	results, err := userdma.Table1P(iters, procs)
-	if err != nil {
+	if err := section("table1", iters, procs); err != nil {
 		return err
 	}
-	tb := stats.NewTable("DMA algorithm", "paper (µs)", "measured (µs)", "delta", "min", "max")
-	for _, r := range results {
-		tb.AddRow(r.Method,
-			fmt.Sprintf("%.1f", r.PaperMean.Microseconds()),
-			fmt.Sprintf("%.2f", r.Mean.Microseconds()),
-			stats.DeltaPercent(r.Mean, r.PaperMean),
-			r.Min, r.Max)
-	}
-	fmt.Println(tb)
 
 	if comparators {
-		fmt.Println("Comparators (not in Table 1; measured on the same model)")
-		tb := stats.NewTable("method", "measured (µs)", "kernel mod?")
-		rs, err := measureComparators(iters, procs)
+		s, err := exp.Report("comparators", exp.Text,
+			exp.Params{Iters: iters, Procs: procs, Methods: exp.ComparatorMethods()[:4]})
 		if err != nil {
 			return err
 		}
-		for i, m := range []userdma.Method{
-			userdma.PALCode{}, userdma.SHRIMP1{},
-			userdma.SHRIMP2{WithKernelMod: true}, userdma.FLASH{},
-		} {
-			tb.AddRow(m.Name(), fmt.Sprintf("%.2f", rs[i].Mean.Microseconds()), m.RequiresKernelMod())
-		}
-		fmt.Println(tb)
+		fmt.Print(s)
 	}
 
 	if sweep {
-		freqs := []sim.Hz{12_500_000, 33 * sim.MHz, 66 * sim.MHz}
-		fmt.Println("Bus-frequency sweep (X4) — mean initiation (µs)")
-		res, err := userdma.BusSweepP(iters, freqs, procs)
-		if err != nil {
+		if err := section("bussweep", iters, procs); err != nil {
 			return err
 		}
-		tb := stats.NewTable("DMA algorithm", "TC 12.5MHz", "PCI 33MHz", "PCI 66MHz")
-		for i, r := range res[freqs[0]] {
-			tb.AddRow(r.Method,
-				fmt.Sprintf("%.2f", r.Mean.Microseconds()),
-				fmt.Sprintf("%.2f", res[freqs[1]][i].Mean.Microseconds()),
-				fmt.Sprintf("%.2f", res[freqs[2]][i].Mean.Microseconds()))
-		}
-		fmt.Println(tb)
 	}
 
 	if breakeven {
-		fmt.Println("Break-even sweep (X6) — initiation share of total DMA cost")
-		tb := stats.NewTable(append([]string{"DMA algorithm"}, sizesHeader()...)...)
-		for _, m := range []userdma.Method{userdma.KernelLevel{}, userdma.ExtShadow{}} {
-			pts, err := userdma.BreakEvenP(m, userdma.DefaultSizes, procs)
-			if err != nil {
-				return err
-			}
-			row := []any{m.Name()}
-			for _, pt := range pts {
-				row = append(row, fmt.Sprintf("%.0f%%", 100*pt.InitShare))
-			}
-			tb.AddRow(row...)
-			if size, ok := userdma.Crossover(pts); ok {
-				fmt.Printf("%-26s transfer outweighs initiation from %d bytes\n", m.Name()+":", size)
-			}
+		if err := section("breakeven", iters, procs); err != nil {
+			return err
 		}
-		fmt.Println()
-		fmt.Println(tb)
 	}
 
 	if contention {
-		fmt.Println("Register-context contention — 6 processes, 4 extended-shadow contexts")
-		res, err := userdma.ContextContention(userdma.ExtShadow{}, 6, iters/10+1)
-		if err != nil {
+		if err := section("contention", iters, procs); err != nil {
 			return err
 		}
-		tb := stats.NewTable("process path", "mean (µs)")
-		for _, r := range res {
-			tb.AddRow(r.Method, fmt.Sprintf("%.2f", r.Mean.Microseconds()))
-		}
-		fmt.Println(tb)
 	}
 	return nil
-}
-
-// sizesHeader renders the break-even sweep's size columns.
-func sizesHeader() []string {
-	out := make([]string, 0, len(userdma.DefaultSizes))
-	for _, s := range userdma.DefaultSizes {
-		if s >= 1024 {
-			out = append(out, fmt.Sprintf("%dKiB", s/1024))
-		} else {
-			out = append(out, fmt.Sprintf("%dB", s))
-		}
-	}
-	return out
 }

@@ -3,159 +3,64 @@
 // kernel DMA path broken into its Figure 1 components. It validates the
 // §2.2 premise ("the overhead of an empty system call ... ranges
 // between 1,000 and 5,000 processor cycles") on the model.
+//
+// The measurement is the "oslat" experiment in the internal/exp
+// registry: three independent simulated worlds that fan out on -procs
+// worker goroutines with byte-identical output for any worker count.
+// -json emits the table as raw simulated picoseconds.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
-	"uldma/internal/dma"
-	"uldma/internal/kernel"
-	"uldma/internal/machine"
-	"uldma/internal/phys"
-	"uldma/internal/proc"
-	"uldma/internal/sim"
-	"uldma/internal/stats"
-	"uldma/internal/vm"
+	"uldma/internal/exp"
 )
 
 func main() {
 	iters := flag.Int("iters", 10_000, "iterations per microbenchmark")
+	procs := flag.Int("procs", 0, "worker goroutines for independent benchmark worlds (0 = GOMAXPROCS)")
+	jsonOut := flag.Bool("json", false, "emit results as one JSON document (raw simulated picoseconds)")
+	list := flag.Bool("list", false, "list the registered experiments and exit")
 	flag.Parse()
-	if err := run(*iters); err != nil {
+	if *list {
+		fmt.Print(exp.List())
+		return
+	}
+	if err := run(*iters, *procs, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "oslat:", err)
 		os.Exit(1)
 	}
 }
 
-func run(iters int) error {
-	cfg := machine.Alpha3000TC(dma.ModePaired, 0)
-	fmt.Printf("OS latency microbenchmarks — %s (%d iterations)\n\n", cfg.Name, iters)
+// oslatJSON is the -json document.
+type oslatJSON struct {
+	Machine string
+	Iters   int
+	Rows    []exp.OSLatRow
+}
 
-	m, err := machine.New(cfg)
+func run(iters, procs int, jsonOut bool) error {
+	p := exp.Params{Iters: iters, Procs: procs}
+	r, err := exp.RunNamed("oslat", p)
 	if err != nil {
 		return err
 	}
-	var nullSample, dmaSample stats.Sample
-	p := m.NewProcess("lmbench", func(c *proc.Context) error {
-		for i := 0; i < iters; i++ {
-			start := m.Clock.Now()
-			if _, err := c.Syscall(kernel.SysNull); err != nil {
-				return err
-			}
-			nullSample.Add(m.Clock.Now() - start)
-		}
-		for i := 0; i < iters; i++ {
-			start := m.Clock.Now()
-			if _, err := c.Syscall(kernel.SysDMA, 0x10000, 0x20000, 64); err != nil {
-				return err
-			}
-			dmaSample.Add(m.Clock.Now() - start)
-		}
-		return nil
-	})
-	m.Kernel.AllocPage(p.AddressSpace(), 0x10000, vm.Read|vm.Write)
-	m.Kernel.AllocPage(p.AddressSpace(), 0x20000, vm.Read|vm.Write)
-	if err := m.Run(proc.NewRoundRobin(1<<20), 1<<30); err != nil {
+	if jsonOut {
+		doc := oslatJSON{Machine: exp.MachineName(), Iters: iters, Rows: exp.OSLatRows(r)}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
+	}
+	s, err := exp.RenderNamed("oslat", exp.Text, r, p)
+	if err != nil {
 		return err
 	}
-	if p.Err() != nil {
-		return p.Err()
-	}
-
-	// Context switch cost: two ping-ponging processes under quantum 1.
-	m2 := machine.MustNew(cfg)
-	for i := 0; i < 2; i++ {
-		m2.NewProcess("switcher", func(c *proc.Context) error {
-			for k := 0; k < iters/10; k++ {
-				c.Spin(1)
-			}
-			return nil
-		})
-	}
-	if err := m2.Run(proc.NewRoundRobin(1), 1<<30); err != nil {
-		return err
-	}
-	switchMean := sim.Time(0)
-	if s := m2.Runner.Stats(); s.Switches > 0 {
-		switchMean = s.SwitchTime / sim.Time(s.Switches)
-	}
-
-	// PAL dispatch, uncached access, and TLB-miss microbenchmarks on a
-	// third machine.
-	m3 := machine.MustNew(cfg)
-	m3.Kernel.InstallPALDMA()
-	var palSample, uncachedSample, tlbMissPenalty stats.Sample
-	p3 := m3.NewProcess("micro", func(c *proc.Context) error {
-		// PAL call (includes its two uncached accesses).
-		for i := 0; i < iters/10; i++ {
-			start := m3.Clock.Now()
-			if _, err := c.PALCall(kernel.PALUserDMA, 0x10000, 0x20000, 0); err != nil {
-				return err
-			}
-			palSample.Add(m3.Clock.Now() - start)
-		}
-		// Single uncached load (engine control-status via shadow poll is
-		// method-specific; use a shadow status read path: a store+load
-		// pair minus the posted store is just the load).
-		for i := 0; i < iters/10; i++ {
-			start := m3.Clock.Now()
-			if _, err := c.Load(kernel.ShadowVA(0x10000), phys.Size64); err != nil {
-				return err
-			}
-			uncachedSample.Add(m3.Clock.Now() - start)
-		}
-		// TLB miss penalty: first touch of a fresh page vs a warm one.
-		for i := 0; i < 16; i++ {
-			va := vm.VAddr(0x40000 + uint64(i)*m3.Cfg.PageSize)
-			start := m3.Clock.Now()
-			if _, err := c.Load(va, phys.Size64); err != nil {
-				return err
-			}
-			cold := m3.Clock.Now() - start
-			start = m3.Clock.Now()
-			if _, err := c.Load(va, phys.Size64); err != nil {
-				return err
-			}
-			warm := m3.Clock.Now() - start
-			tlbMissPenalty.Add(cold - warm)
-		}
-		return nil
-	})
-	m3.Kernel.AllocPage(p3.AddressSpace(), 0x10000, vm.Read|vm.Write)
-	m3.Kernel.AllocPage(p3.AddressSpace(), 0x20000, vm.Read|vm.Write)
-	m3.Kernel.MapShadow(p3, 0x10000)
-	m3.Kernel.MapShadow(p3, 0x20000)
-	for i := 0; i < 16; i++ {
-		m3.Kernel.AllocPage(p3.AddressSpace(), vm.VAddr(0x40000+uint64(i)*m3.Cfg.PageSize), vm.Read)
-	}
-	if err := m3.Run(proc.NewRoundRobin(1<<20), 1<<62); err != nil {
-		return err
-	}
-	if p3.Err() != nil {
-		return p3.Err()
-	}
-
-	cpuFreq := cfg.CPU.Freq
-	tb := stats.NewTable("microbenchmark", "mean", "CPU cycles")
-	tb.AddRow("null syscall", nullSample.Mean(), cpuFreq.CyclesIn(nullSample.Mean()))
-	tb.AddRow("DMA syscall (Figure 1)", dmaSample.Mean(), cpuFreq.CyclesIn(dmaSample.Mean()))
-	tb.AddRow("context switch", switchMean, cpuFreq.CyclesIn(switchMean))
-	tb.AddRow("PAL user_level_dma call", palSample.Mean(), cpuFreq.CyclesIn(palSample.Mean()))
-	tb.AddRow("uncached device load", uncachedSample.Mean(), cpuFreq.CyclesIn(uncachedSample.Mean()))
-	tb.AddRow("TLB miss penalty", tlbMissPenalty.Mean(), cpuFreq.CyclesIn(tlbMissPenalty.Mean()))
-	fmt.Println(tb)
-
-	cycles := cpuFreq.CyclesIn(nullSample.Mean())
-	fmt.Printf("paper §2.2: empty syscall should cost 1,000-5,000 cycles — measured %d: ", cycles)
-	if cycles >= 1000 && cycles <= 5000 {
-		fmt.Println("WITHIN BAND")
-	} else {
-		fmt.Println("OUT OF BAND")
+	fmt.Print(s)
+	if !exp.OSLatInBand(r) {
 		return fmt.Errorf("null syscall out of the lmbench band")
 	}
-	fmt.Printf("kernel DMA = null syscall + %v of translation, checks and device programming\n",
-		dmaSample.Mean()-nullSample.Mean())
 	return nil
 }

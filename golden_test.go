@@ -1,0 +1,147 @@
+package uldma_test
+
+// Golden-file and smoke tests for the cmd/ tools. The goldens under
+// testdata/golden were pinned from the tools BEFORE the experiment-
+// engine refactor; every rendered byte is part of the tools' contract,
+// for any -procs value. Regenerate deliberately with:
+//
+//	make golden     (= go test -run TestGolden -update .)
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden from current tool output")
+
+var (
+	buildOnce sync.Once
+	buildDir  string
+	buildErr  error
+)
+
+// buildTools compiles every cmd/ binary once per test process.
+func buildTools(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		buildDir, buildErr = os.MkdirTemp("", "uldma-tools-*")
+		if buildErr != nil {
+			return
+		}
+		for _, tool := range []string{"dmabench", "report", "oslat", "clustersim", "attacksim"} {
+			cmd := exec.Command("go", "build", "-o", filepath.Join(buildDir, tool), "./cmd/"+tool)
+			if out, err := cmd.CombinedOutput(); err != nil {
+				buildErr = err
+				buildDir = string(out)
+				return
+			}
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building tools: %v\n%s", buildErr, buildDir)
+	}
+	return buildDir
+}
+
+func runTool(t *testing.T, dir, tool string, args ...string) []byte {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	cmd := exec.Command(filepath.Join(dir, tool), args...)
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%s %v: %v\n%s", tool, args, err, stderr.String())
+	}
+	return stdout.Bytes()
+}
+
+// goldenCases is the pinned (tool, flags) -> file matrix. The flags
+// deliberately use non-default counts so regeneration stays cheap.
+var goldenCases = []struct {
+	file string
+	tool string
+	args []string
+}{
+	{"dmabench_default.txt", "dmabench", []string{"-iters", "120"}},
+	{"dmabench_sweep.txt", "dmabench", []string{"-iters", "60", "-sweep"}},
+	{"dmabench_breakeven.txt", "dmabench", []string{"-iters", "60", "-breakeven"}},
+	{"dmabench_trend.txt", "dmabench", []string{"-iters", "30", "-trend"}},
+	{"dmabench_all.json", "dmabench", []string{"-iters", "60", "-json", "-sweep", "-breakeven", "-trend", "-comparators", "-contention"}},
+	{"report.md", "report", []string{"-iters", "100", "-seeds", "8"}},
+	{"report.json", "report", []string{"-iters", "100", "-json"}},
+	{"oslat.txt", "oslat", []string{"-iters", "1000"}},
+}
+
+// TestGolden pins the rendered output of every tool: text, markdown and
+// JSON must be byte-identical to the pre-refactor goldens, at more than
+// one worker count.
+func TestGolden(t *testing.T) {
+	dir := buildTools(t)
+	for _, tc := range goldenCases {
+		tc := tc
+		t.Run(tc.file, func(t *testing.T) {
+			path := filepath.Join("testdata", "golden", tc.file)
+			got := runTool(t, dir, tc.tool, tc.args...)
+			if *updateGolden {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run make golden): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s %v drifted from %s (run make golden to accept)", tc.tool, tc.args, path)
+			}
+			// The parallel runner's contract: same bytes for any -procs.
+			for _, procs := range []string{"1", "3"} {
+				again := runTool(t, dir, tc.tool, append(tc.args, "-procs", procs)...)
+				if !bytes.Equal(again, want) {
+					t.Fatalf("%s %v -procs %s diverged from the golden", tc.tool, tc.args, procs)
+				}
+			}
+		})
+	}
+}
+
+// TestSmoke exercises every binary end to end with tiny workloads,
+// including the new -list and -json frontends.
+func TestSmoke(t *testing.T) {
+	dir := buildTools(t)
+	cases := []struct {
+		name string
+		tool string
+		args []string
+		want string // substring the output must contain
+	}{
+		{"dmabench", "dmabench", []string{"-iters", "5"}, "Table 1"},
+		{"dmabench-list", "dmabench", []string{"-list"}, "bussweep"},
+		{"dmabench-trace", "dmabench", []string{"-iters", "5", "-trace"}, "bus transactions"},
+		{"report", "report", []string{"-iters", "10", "-seeds", "2"}, "## F5/F6/F8"},
+		{"report-list", "report", []string{"-list"}, "breakeven"},
+		{"report-json", "report", []string{"-iters", "10", "-json"}, "\"BusSweep\""},
+		{"oslat", "oslat", []string{"-iters", "200"}, "WITHIN BAND"},
+		{"oslat-json", "oslat", []string{"-iters", "200", "-json", "-procs", "2"}, "\"CPUCycles\""},
+		{"oslat-list", "oslat", []string{"-list"}, "oslat"},
+		{"clustersim", "clustersim", []string{"-msgs", "4"}, "init share"},
+		{"clustersim-json", "clustersim", []string{"-msgs", "4", "-json", "-procs", "2"}, "\"LatencyPs\""},
+		{"clustersim-hist", "clustersim", []string{"-msgs", "4", "-hist", "-gigabit=false"}, "latency distribution"},
+		{"attacksim", "attacksim", []string{"-slots", "2", "-seeds", "3"}, "exhaustive search"},
+		{"attacksim-list", "attacksim", []string{"-list"}, "campaign"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			out := runTool(t, dir, tc.tool, tc.args...)
+			if !bytes.Contains(out, []byte(tc.want)) {
+				t.Fatalf("%s %v output lacks %q:\n%s", tc.tool, tc.args, tc.want, out)
+			}
+		})
+	}
+}

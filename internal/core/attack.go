@@ -394,10 +394,9 @@ func RandomAdversarialRun(seed uint64, shareA, looseStatus bool) (AttackOutcome,
 // number of schedules tried and the first hijacking outcome found (nil
 // if none — the paper's §3.3.1 claim).
 func ExhaustiveInterleavings(attackerSlots int) (tried int, hijack *AttackOutcome, err error) {
-	// Victim: S MB L S MB L L = 7 slots. Attacker: first `attackerSlots`
-	// slots of [S(FOO) MB L(FOO) L(C) L(C) S(C) MB L(FOO)].
-	const victimSlots = 7
-	schedules := interleavings(victimSlots, attackerSlots)
+	// Victim: S MB L S MB L L = VictimSlots slots. Attacker: first
+	// `attackerSlots` slots of [S(FOO) MB L(FOO) L(C) L(C) S(C) MB L(FOO)].
+	schedules := interleavings(VictimSlots, attackerSlots)
 	for _, sched := range schedules {
 		tried++
 		o, e := runInterleaving(sched)
@@ -409,6 +408,20 @@ func ExhaustiveInterleavings(attackerSlots int) (tried int, hijack *AttackOutcom
 		}
 	}
 	return tried, nil, nil
+}
+
+// VictimSlots is the victim's slot count in the exhaustive search: its
+// barriered 5-access attempt occupies S MB L S MB L L = 7 scheduler
+// slots.
+const VictimSlots = 7
+
+// RunInterleaving runs ONE schedule of the exhaustive search — one
+// cell of the "exhaustive" experiment — on a fresh world: the victim's
+// barriered 5-access attempt against the fixed adversarial program,
+// interleaved as sched dictates (true = victim slot). It is shared by
+// the serial search and internal/exp's parallel one.
+func RunInterleaving(sched []bool) (AttackOutcome, error) {
+	return runInterleaving(sched)
 }
 
 // runInterleaving runs ONE schedule of the exhaustive search on a fresh
@@ -512,6 +525,13 @@ func CustomDuel(seqLen int, shareA bool, victimProg, attackerProg isa.Program, s
 	}
 	w.m.Settle()
 	return w.outcome(victimStatus, 0), nil
+}
+
+// Interleavings enumerates all merge orders of v victim slots with a
+// attacker slots, as boolean slices (true = victim slot) — the cell
+// grid of the "exhaustive" experiment.
+func Interleavings(v, a int) [][]bool {
+	return interleavings(v, a)
 }
 
 // interleavings enumerates all merge orders of v victim slots with a

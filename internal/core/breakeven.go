@@ -51,6 +51,13 @@ func breakEvenOne(method Method, size uint64) (BreakEvenPoint, error) {
 	return breakEvenOneCfg(method, ConfigFor(method), size)
 }
 
+// BreakEvenCell measures one (method, config, size) break-even cell on
+// a fresh machine — the unit the experiment layer (internal/exp)
+// parallelises.
+func BreakEvenCell(method Method, cfg machine.Config, size uint64) (BreakEvenPoint, error) {
+	return breakEvenOneCfg(method, cfg, size)
+}
+
 func breakEvenOneCfg(method Method, cfg machine.Config, size uint64) (BreakEvenPoint, error) {
 	m, err := machine.New(cfg)
 	if err != nil {

@@ -1,0 +1,143 @@
+package exp
+
+// Typed JSON rows: times are raw sim.Time values (picoseconds of
+// simulated time), exact integers suitable for byte-for-byte regression
+// comparison across code changes. The field names and tags are the wire
+// format the tools have always emitted — keep them stable.
+
+import (
+	userdma "uldma/internal/core"
+	"uldma/internal/dma"
+	"uldma/internal/machine"
+)
+
+// InitiationRow is one initiation measurement as the tools serialise it.
+type InitiationRow struct {
+	Method      string
+	Iterations  int
+	MeanPs      int64
+	MinPs       int64
+	MaxPs       int64
+	PaperMeanPs int64 `json:",omitempty"`
+}
+
+// BreakEvenRow is one (size, cost split) point of the X6 sweep.
+type BreakEvenRow struct {
+	Size         uint64
+	InitiationPs int64
+	TransferPs   int64
+	InitShare    float64
+}
+
+// TrendRow is one hardware era of the X7 trend.
+type TrendRow struct {
+	Era             string
+	KernelInitPs    int64
+	UserInitPs      int64
+	KernelCrossover uint64
+}
+
+// OSLatRow is one OS-latency microbenchmark result.
+type OSLatRow struct {
+	Benchmark string
+	MeanPs    int64
+	CPUCycles int64
+}
+
+// ClusterRow is one initiation method's NOW message-passing result.
+type ClusterRow struct {
+	Method       string
+	LatencyPs    int64
+	InitiationPs int64
+	InitShare    float64
+}
+
+// InitRow converts one InitiationResult to its wire row.
+func InitRow(r userdma.InitiationResult) InitiationRow {
+	return InitiationRow{
+		Method: r.Method, Iterations: r.Iterations,
+		MeanPs: int64(r.Mean), MinPs: int64(r.Min), MaxPs: int64(r.Max),
+		PaperMeanPs: int64(r.PaperMean),
+	}
+}
+
+// InitRows converts a result slice; nil in, nil out (so `omitempty`
+// sections stay omitted).
+func InitRows(rs []userdma.InitiationResult) []InitiationRow {
+	var out []InitiationRow
+	for _, r := range rs {
+		out = append(out, InitRow(r))
+	}
+	return out
+}
+
+// BreakEvenRows converts one method's break-even points.
+func BreakEvenRows(pts []userdma.BreakEvenPoint) []BreakEvenRow {
+	var out []BreakEvenRow
+	for _, pt := range pts {
+		out = append(out, BreakEvenRow{
+			Size: pt.Size, InitiationPs: int64(pt.Initiation),
+			TransferPs: int64(pt.Transfer), InitShare: pt.InitShare,
+		})
+	}
+	return out
+}
+
+// TrendRows converts the per-era trend points.
+func TrendRows(pts []userdma.TrendPoint) []TrendRow {
+	var out []TrendRow
+	for _, pt := range pts {
+		out = append(out, TrendRow{
+			Era: pt.Era, KernelInitPs: int64(pt.KernelInit),
+			UserInitPs: int64(pt.UserInit), KernelCrossover: pt.KernelCrossover,
+		})
+	}
+	return out
+}
+
+// BusSweepJSON renders the sweep in the map shape the tools emit.
+// encoding/json sorts the keys, and "PCI 33MHz" < "PCI 66MHz" <
+// "TC 12.5MHz" is a fixed order, so the document is deterministic.
+func BusSweepJSON(groups []FreqRows) map[string][]InitiationRow {
+	out := make(map[string][]InitiationRow, len(groups))
+	for _, g := range groups {
+		out[g.Freq.String()] = InitRows(g.Rows)
+	}
+	return out
+}
+
+// BreakEvenJSON renders the per-method break-even map the tools emit.
+func BreakEvenJSON(groups []MethodPoints) map[string][]BreakEvenRow {
+	out := make(map[string][]BreakEvenRow, len(groups))
+	for _, g := range groups {
+		out[g.Method.Name()] = BreakEvenRows(g.Points)
+	}
+	return out
+}
+
+// OSLatRows converts an oslat result into wire rows, cycle counts
+// included (same CPU clock the text renderer uses).
+func OSLatRows(r *Result) []OSLatRow {
+	freq := machine.Alpha3000TC(dma.ModePaired, 0).CPU.Freq
+	var out []OSLatRow
+	for _, row := range r.Rows() {
+		out = append(out, OSLatRow{
+			Benchmark: row.Name, MeanPs: int64(row.Mean),
+			CPUCycles: freq.CyclesIn(row.Mean),
+		})
+	}
+	return out
+}
+
+// ClusterRows converts a clustersim result into wire rows.
+func ClusterRows(r *Result) []ClusterRow {
+	var out []ClusterRow
+	for _, row := range r.Rows() {
+		out = append(out, ClusterRow{
+			Method: row.Name, LatencyPs: int64(row.Mean),
+			InitiationPs: int64(row.Init),
+			InitShare:    float64(row.Init) / float64(row.Mean),
+		})
+	}
+	return out
+}
