@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench ci baseline golden
+.PHONY: all build vet test race bench ci baseline golden benchdiff profile
 
 all: ci
 
@@ -31,9 +31,24 @@ golden:
 bench:
 	$(GO) test -bench . -benchmem -run XXX ./internal/sim ./internal/vm ./internal/bus ./internal/machine ./...
 
-ci: build vet race
+ci: build vet race benchdiff
 
 # Regenerate the perf-trajectory snapshot (raw simulated picoseconds;
 # byte-identical for any -procs value).
 baseline:
 	$(GO) run ./cmd/dmabench -json -sweep -breakeven -trend -comparators > BENCH_baseline.json
+
+# Compare the current model's simulated-time numbers against the
+# committed baseline snapshot. Every value is exact simulated time, so
+# any delta is a behavioural change. Non-fatal in ci by design: the
+# report shows up in the log, and intentional model changes land with a
+# `make baseline` refresh in the same commit.
+benchdiff:
+	-$(GO) run ./cmd/benchdiff
+
+# Host-CPU and allocation profiles of the heaviest tool. Every cmd/
+# tool takes the same -cpuprofile/-memprofile flags (see
+# internal/exp/profile.go); inspect with `go tool pprof`.
+profile:
+	$(GO) run ./cmd/report -procs 1 -cpuprofile report.cpu.prof -memprofile report.mem.prof > /dev/null
+	@echo "wrote report.cpu.prof and report.mem.prof; try: go tool pprof -top report.cpu.prof"

@@ -32,6 +32,12 @@ func main() {
 	shareA := flag.Bool("share-a", false, "give the attacker read access to page A")
 	list := flag.Bool("list", false, "list the registered experiments and exit")
 	flag.Parse()
+	stop, err := exp.StartProfiles()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "attacksim:", err)
+		os.Exit(2)
+	}
+	defer stop()
 
 	if *list {
 		fmt.Print(exp.List())
@@ -41,7 +47,7 @@ func main() {
 	if *victimSrc != "" {
 		if err := custom(*seqLen, *shareA, *victimSrc, *attackerSrc, *schedule); err != nil {
 			fmt.Fprintln(os.Stderr, "attacksim:", err)
-			os.Exit(1)
+			exp.Exit(1)
 		}
 		return
 	}
@@ -65,7 +71,7 @@ func main() {
 	for _, f := range figures {
 		if err := run(f); err != nil {
 			fmt.Fprintln(os.Stderr, "attacksim:", err)
-			os.Exit(1)
+			exp.Exit(1)
 		}
 		fmt.Println()
 	}

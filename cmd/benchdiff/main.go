@@ -1,0 +1,217 @@
+// Command benchdiff compares two performance-trajectory snapshots (the
+// JSON documents cmd/dmabench and cmd/report emit with -json, raw
+// simulated picoseconds) and reports every numeric leaf that changed.
+//
+//	benchdiff [-tol 0.5] [-fatal] baseline.json current.json
+//	benchdiff [-iters N] [-procs W] [-fatal]   # regenerate vs BENCH_baseline.json
+//
+// With one or zero file arguments the current document is regenerated
+// in-process with the same sections `make baseline` snapshots (Table 1,
+// comparators, bus sweep, break-even, trend). The diff is structural:
+// arrays of measurement rows are keyed by their Method/Size fields when
+// present, so a changed row reads as "Table1[Key-based DMA].MeanPs"
+// rather than an index.
+//
+// Because every value is exact simulated time, ANY delta means the
+// model's behaviour changed — there is no host noise to tolerate. The
+// default exit status is 0 regardless (make ci runs benchdiff as a
+// non-fatal report; an intentional model change is committed via `make
+// baseline`); -fatal makes deltas beyond -tol percent fail the run.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"uldma/internal/exp"
+)
+
+func main() {
+	iters := flag.Int("iters", 1000, "initiations per measurement when regenerating")
+	procs := flag.Int("procs", 0, "worker goroutines when regenerating (0 = GOMAXPROCS)")
+	tol := flag.Float64("tol", 0, "percent delta beyond which a leaf is flagged")
+	fatal := flag.Bool("fatal", false, "exit 1 when any leaf is flagged")
+	flag.Parse()
+
+	if err := run(flag.Args(), *iters, *procs, *tol, *fatal); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+}
+
+func run(args []string, iters, procs int, tol float64, fatal bool) error {
+	basePath := "BENCH_baseline.json"
+	var base, cur map[string]any
+	switch len(args) {
+	case 2:
+		basePath = args[0]
+		if err := load(args[0], &base); err != nil {
+			return err
+		}
+		if err := load(args[1], &cur); err != nil {
+			return err
+		}
+	case 1, 0:
+		if len(args) == 1 {
+			basePath = args[0]
+		}
+		if err := load(basePath, &base); err != nil {
+			return err
+		}
+		var err error
+		if cur, err = regenerate(iters, procs); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("want at most two file arguments, got %d", len(args))
+	}
+
+	bleaves, cleaves := map[string]float64{}, map[string]float64{}
+	flatten("", base, bleaves)
+	flatten("", cur, cleaves)
+
+	paths := map[string]bool{}
+	for p := range bleaves {
+		paths[p] = true
+	}
+	for p := range cleaves {
+		paths[p] = true
+	}
+	ordered := make([]string, 0, len(paths))
+	for p := range paths {
+		ordered = append(ordered, p)
+	}
+	sort.Strings(ordered)
+
+	flagged, same := 0, 0
+	for _, p := range ordered {
+		b, inB := bleaves[p]
+		c, inC := cleaves[p]
+		switch {
+		case !inB:
+			fmt.Printf("+ %-60s %15.0f (new)\n", p, c)
+			flagged++
+		case !inC:
+			fmt.Printf("- %-60s %15.0f (gone)\n", p, b)
+			flagged++
+		case b != c:
+			pct := math.Inf(1)
+			if b != 0 {
+				pct = (c - b) / b * 100
+			}
+			if math.Abs(pct) >= tol {
+				fmt.Printf("~ %-60s %15.0f -> %15.0f  (%+.2f%%)\n", p, b, c, pct)
+				flagged++
+			} else {
+				same++
+			}
+		default:
+			same++
+		}
+	}
+	fmt.Printf("benchdiff vs %s: %d leaves compared, %d flagged, %d unchanged\n",
+		basePath, len(ordered), flagged, same)
+	if flagged > 0 && fatal {
+		return fmt.Errorf("%d leaves differ", flagged)
+	}
+	return nil
+}
+
+func load(path string, into *map[string]any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(data, into)
+}
+
+// regenerate rebuilds the `make baseline` document in-process and
+// round-trips it through JSON so both sides flatten identically.
+func regenerate(iters, procs int) (map[string]any, error) {
+	doc := struct {
+		Machine     string
+		Iters       int
+		Table1      []exp.InitiationRow
+		Comparators []exp.InitiationRow
+		BusSweep    map[string][]exp.InitiationRow
+		BreakEven   map[string][]exp.BreakEvenRow
+		Trend       []exp.TrendRow
+	}{Machine: exp.MachineName(), Iters: iters}
+
+	t1, err := exp.Table1(iters, procs)
+	if err != nil {
+		return nil, err
+	}
+	doc.Table1 = exp.InitRows(t1)
+	cs, err := exp.Comparators(iters, procs, exp.ComparatorMethods()[:4])
+	if err != nil {
+		return nil, err
+	}
+	doc.Comparators = exp.InitRows(cs)
+	sweep, err := exp.BusSweep(iters, procs)
+	if err != nil {
+		return nil, err
+	}
+	doc.BusSweep = exp.BusSweepJSON(sweep)
+	be, err := exp.BreakEven(procs)
+	if err != nil {
+		return nil, err
+	}
+	doc.BreakEven = exp.BreakEvenJSON(be)
+	pts, err := exp.TrendSweep(iters, procs)
+	if err != nil {
+		return nil, err
+	}
+	doc.Trend = exp.TrendRows(pts)
+
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		return nil, err
+	}
+	var out map[string]any
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// flatten walks a decoded JSON document and records every numeric leaf
+// under a dotted path. Array elements that carry an identifying field
+// (Method, Label, Size, Gen) are keyed by its value instead of their
+// index, so reordering or insertion reads as what it is.
+func flatten(prefix string, v any, out map[string]float64) {
+	switch t := v.(type) {
+	case map[string]any:
+		for k, child := range t {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			flatten(p, child, out)
+		}
+	case []any:
+		for i, child := range t {
+			key := fmt.Sprintf("[%d]", i)
+			if m, ok := child.(map[string]any); ok {
+				for _, id := range []string{"Method", "Label", "Size", "Gen"} {
+					switch idv := m[id].(type) {
+					case string:
+						key = "[" + idv + "]"
+					case float64:
+						key = fmt.Sprintf("[%s=%.0f]", id, idv)
+					default:
+						continue
+					}
+					break
+				}
+			}
+			flatten(prefix+key, child, out)
+		}
+	case float64:
+		out[prefix] = t
+	}
+}

@@ -30,13 +30,19 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit results as one JSON document (raw simulated picoseconds)")
 	list := flag.Bool("list", false, "list the registered experiments and exit")
 	flag.Parse()
+	stop, err := exp.StartProfiles()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clustersim:", err)
+		os.Exit(2)
+	}
+	defer stop()
 	if *list {
 		fmt.Print(exp.List())
 		return
 	}
 	if err := run(*msgs, *size, !*gigabit, *hist, *procs, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "clustersim:", err)
-		os.Exit(1)
+		exp.Exit(1)
 	}
 }
 

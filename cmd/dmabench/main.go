@@ -42,6 +42,12 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit results as one JSON document (raw simulated picoseconds)")
 	list := flag.Bool("list", false, "list the registered experiments and exit")
 	flag.Parse()
+	stop, err := exp.StartProfiles()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dmabench:", err)
+		os.Exit(2)
+	}
+	defer stop()
 
 	if *list {
 		fmt.Print(exp.List())
@@ -51,7 +57,7 @@ func main() {
 	if *jsonOut {
 		if err := runJSON(*iters, *procs, *sweep, *comparators, *breakeven, *trend, *contention); err != nil {
 			fmt.Fprintln(os.Stderr, "dmabench:", err)
-			os.Exit(1)
+			exp.Exit(1)
 		}
 		return
 	}
@@ -59,19 +65,19 @@ func main() {
 	if *trend {
 		if err := section("trend", *iters, *procs); err != nil {
 			fmt.Fprintln(os.Stderr, "dmabench:", err)
-			os.Exit(1)
+			exp.Exit(1)
 		}
 	}
 
 	if *traceFlag {
 		if err := runTrace(); err != nil {
 			fmt.Fprintln(os.Stderr, "dmabench:", err)
-			os.Exit(1)
+			exp.Exit(1)
 		}
 	}
 	if err := run(*iters, *procs, *sweep, *contention, *comparators, *breakeven); err != nil {
 		fmt.Fprintln(os.Stderr, "dmabench:", err)
-		os.Exit(1)
+		exp.Exit(1)
 	}
 }
 

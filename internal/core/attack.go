@@ -2,6 +2,7 @@ package userdma
 
 import (
 	"fmt"
+	"sync"
 
 	"uldma/internal/dma"
 	"uldma/internal/isa"
@@ -69,11 +70,111 @@ func (o AttackOutcome) String() string {
 		o.Transfers, o.VictimBelievesSuccess, o.Hijacked, o.Misinformed)
 }
 
-// attackWorld wires the two-process scenario on a fresh machine.
+// attackWorld wires the two-process scenario on a pristine machine
+// checked out of the template pool.
 type attackWorld struct {
 	m                *machine.Machine
 	victim, attacker *proc.Process
 	frames           map[string]phys.Addr // page name -> frame
+	tmpl             *attackTemplate      // returned to the pool by finish
+}
+
+// attackTemplate is a warmed scenario world: the machine, both address
+// spaces fully mapped (data pages, shadow aliases, the optional shared
+// A), data patterns filled, and a pristine world snapshot taken before
+// any process ever ran. Each run checks a template out of the pool,
+// spawns fresh victim/attacker processes into the pre-built spaces,
+// runs its schedule, and returns the template rewound to the snapshot.
+// World construction — machine build, four page allocations, shadow
+// maps, fills, roughly two thirds of a schedule's host cost in the
+// exhaustive search — thus happens once per pooled template instead of
+// once per schedule (the search tries ~1300 of them per report run).
+type attackTemplate struct {
+	key          scenarioKey
+	m            *machine.Machine
+	snap         *machine.Snapshot
+	vicAS, attAS *vm.AddressSpace
+	frames       map[string]phys.Addr
+}
+
+// scenarioKey identifies a template family: two worlds are
+// interchangeable iff they share the engine sequence length and the
+// shareA mapping.
+type scenarioKey struct {
+	seqLen int
+	shareA bool
+}
+
+// attackPools holds one free list per scenario shape. sync.Pool keeps
+// checkout allocation-free and parallel-safe (exhaustive-search workers
+// end up each cycling their own template). Outcomes cannot depend on
+// which template a run draws: Restore rewinds every world component to
+// the same pristine snapshot (TestAttackTemplateRestoreFidelity pins
+// this — a reused world must reproduce a fresh world's outcome
+// byte for byte).
+var attackPools sync.Map // scenarioKey -> *sync.Pool
+
+// checkoutTemplate draws a pristine template for the scenario shape,
+// building one if the pool is empty.
+func checkoutTemplate(seqLen int, shareA bool) (*attackTemplate, error) {
+	pi, _ := attackPools.LoadOrStore(scenarioKey{seqLen, shareA}, &sync.Pool{})
+	if t, _ := pi.(*sync.Pool).Get().(*attackTemplate); t != nil {
+		return t, nil
+	}
+	return newAttackTemplate(seqLen, shareA)
+}
+
+// newAttackTemplate builds and snapshots one warmed scenario world.
+// The layout reproduces newAttackWorld's original construction order
+// exactly (victim's space before the attacker's, frames A, B, C, FOO)
+// so ASIDs, frame addresses and shadow encodings are unchanged.
+func newAttackTemplate(seqLen int, shareA bool) (*attackTemplate, error) {
+	m, err := machine.New(machine.Alpha3000TC(dma.ModeRepeated, seqLen))
+	if err != nil {
+		return nil, err
+	}
+	t := &attackTemplate{
+		key:    scenarioKey{seqLen, shareA},
+		m:      m,
+		vicAS:  m.Kernel.NewAddressSpace(),
+		attAS:  m.Kernel.NewAddressSpace(),
+		frames: map[string]phys.Addr{},
+	}
+	alloc := func(as *vm.AddressSpace, name string, va vm.VAddr) error {
+		frame, err := m.Kernel.AllocPage(as, va, vm.Read|vm.Write)
+		if err != nil {
+			return err
+		}
+		t.frames[name] = frame
+		return m.Kernel.MapShadowAS(as, 0, va)
+	}
+	if err := alloc(t.vicAS, "A", vaA); err != nil {
+		return nil, err
+	}
+	if err := alloc(t.vicAS, "B", vaB); err != nil {
+		return nil, err
+	}
+	if err := alloc(t.attAS, "C", vaC); err != nil {
+		return nil, err
+	}
+	if err := alloc(t.attAS, "FOO", vaFoo); err != nil {
+		return nil, err
+	}
+	if shareA {
+		// Public read-only data: same frame, read right, own shadow.
+		if err := m.Kernel.MapFrame(t.attAS, vaA, t.frames["A"], vm.Read); err != nil {
+			return nil, err
+		}
+		if err := m.Kernel.MapShadowAS(t.attAS, 0, vaA); err != nil {
+			return nil, err
+		}
+	}
+	m.Mem.Fill(t.frames["A"], 256, fillA)
+	m.Mem.Fill(t.frames["C"], 256, fillC)
+	if t.snap, err = m.Snapshot(); err != nil {
+		return nil, err
+	}
+	return t, nil
 }
 
 // frameName resolves a physical address to the scenario page holding it.
@@ -87,50 +188,37 @@ func (w *attackWorld) frameName(pa phys.Addr) string {
 	return pa.String()
 }
 
-// newAttackWorld builds the machine and both processes.
-// shareA additionally maps the victim's A page read-only into the
-// attacker (the Figure 6 precondition).
+// newAttackWorld checks a pristine template world out of the pool and
+// spawns both processes into its pre-built address spaces. shareA
+// selects the template family with the victim's A page mapped
+// read-only into the attacker (the Figure 6 precondition).
 func newAttackWorld(seqLen int, shareA bool, victimBody, attackerBody proc.Body) (*attackWorld, error) {
-	m, err := machine.New(machine.Alpha3000TC(dma.ModeRepeated, seqLen))
+	t, err := checkoutTemplate(seqLen, shareA)
 	if err != nil {
 		return nil, err
 	}
-	w := &attackWorld{m: m, frames: map[string]phys.Addr{}}
-	w.victim = m.NewProcess("victim", victimBody)
-	w.attacker = m.NewProcess("attacker", attackerBody)
-
-	alloc := func(p *proc.Process, name string, va vm.VAddr) error {
-		frame, err := m.Kernel.AllocPage(p.AddressSpace(), va, vm.Read|vm.Write)
-		if err != nil {
-			return err
-		}
-		w.frames[name] = frame
-		return m.Kernel.MapShadow(p, va)
-	}
-	if err := alloc(w.victim, "A", vaA); err != nil {
-		return nil, err
-	}
-	if err := alloc(w.victim, "B", vaB); err != nil {
-		return nil, err
-	}
-	if err := alloc(w.attacker, "C", vaC); err != nil {
-		return nil, err
-	}
-	if err := alloc(w.attacker, "FOO", vaFoo); err != nil {
-		return nil, err
-	}
-	if shareA {
-		// Public read-only data: same frame, read right, own shadow.
-		if err := m.Kernel.MapFrame(w.attacker.AddressSpace(), vaA, w.frames["A"], vm.Read); err != nil {
-			return nil, err
-		}
-		if err := m.Kernel.MapShadow(w.attacker, vaA); err != nil {
-			return nil, err
-		}
-	}
-	m.Mem.Fill(w.frames["A"], 256, fillA)
-	m.Mem.Fill(w.frames["C"], 256, fillC)
+	w := &attackWorld{m: t.m, frames: t.frames, tmpl: t}
+	w.victim = t.m.Runner.Spawn("victim", t.vicAS, victimBody)
+	w.attacker = t.m.Runner.Spawn("attacker", t.attAS, attackerBody)
 	return w, nil
+}
+
+// finish computes the run's outcome, then rewinds the world to its
+// pristine snapshot and returns the template to the pool. The world
+// must not be used after finish. If the rewind fails (it cannot, short
+// of a bug — the run has completed, so the world is quiescent), the
+// template is simply dropped and the next run builds a fresh one.
+func (w *attackWorld) finish(victimStatus, attackerStatus uint64) AttackOutcome {
+	o := w.outcome(victimStatus, attackerStatus)
+	if t := w.tmpl; t != nil {
+		w.tmpl = nil
+		if err := t.m.Restore(t.snap); err == nil {
+			if pi, ok := attackPools.Load(t.key); ok {
+				pi.(*sync.Pool).Put(t)
+			}
+		}
+	}
+	return o
 }
 
 // outcome inspects the engine's transfer log after a run.
@@ -216,7 +304,7 @@ func Figure5() (AttackOutcome, error) {
 		return AttackOutcome{}, err
 	}
 	w.m.Settle()
-	return w.outcome(victimStatus, 0), nil
+	return w.finish(victimStatus, 0), nil
 }
 
 // Figure6 replays the paper's Figure 6 against the 4-access variant:
@@ -265,7 +353,7 @@ func Figure6() (AttackOutcome, error) {
 		return AttackOutcome{}, err
 	}
 	w.m.Settle()
-	return w.outcome(victimStatus, attackerStatus), nil
+	return w.finish(victimStatus, attackerStatus), nil
 }
 
 // Figure8Replay runs the Figure 5 attack schedule against the paper's
@@ -318,7 +406,7 @@ func Figure8Replay() (AttackOutcome, error) {
 		return AttackOutcome{}, err
 	}
 	w.m.Settle()
-	o := w.outcome(victimStatus, 0)
+	o := w.finish(victimStatus, 0)
 	if victimErr != nil && o.VictimErr == nil {
 		o.VictimErr = victimErr
 	}
@@ -384,7 +472,7 @@ func RandomAdversarialRun(seed uint64, shareA, looseStatus bool) (AttackOutcome,
 		return AttackOutcome{}, err
 	}
 	w.m.Settle()
-	return w.outcome(victimStatus, 0), nil
+	return w.finish(victimStatus, 0), nil
 }
 
 // ExhaustiveInterleavings enumerates EVERY interleaving of the victim's
@@ -465,7 +553,7 @@ func runInterleaving(sched []bool) (AttackOutcome, error) {
 		return AttackOutcome{}, e
 	}
 	w.m.Settle()
-	return w.outcome(victimStatus, 0), nil
+	return w.finish(victimStatus, 0), nil
 }
 
 // ScenarioSymbols returns the assembler symbol table of the standard
@@ -524,7 +612,7 @@ func CustomDuel(seqLen int, shareA bool, victimProg, attackerProg isa.Program, s
 		return AttackOutcome{}, err
 	}
 	w.m.Settle()
-	return w.outcome(victimStatus, 0), nil
+	return w.finish(victimStatus, 0), nil
 }
 
 // Interleavings enumerates all merge orders of v victim slots with a

@@ -33,12 +33,19 @@ type BreakEvenPoint struct {
 var DefaultSizes = []uint64{8, 64, 256, 1024, 4096, 16384, 65536}
 
 // BreakEven sweeps transfer sizes for one method on its calibrated
-// preset. Each size runs on a fresh machine so engine queueing never
-// contaminates the numbers.
+// preset. Each size runs on a pristine world so engine queueing never
+// contaminates the numbers — one machine is built and snapshotted at
+// construction, then rewound in place between sizes instead of being
+// reconstructed (a pristine restored world is indistinguishable from a
+// fresh one; the snapshot equivalence tests pin this).
 func BreakEven(method Method, sizes []uint64) ([]BreakEvenPoint, error) {
+	snap, err := NewWorld(ConfigFor(method))
+	if err != nil {
+		return nil, err
+	}
 	var out []BreakEvenPoint
 	for _, size := range sizes {
-		pt, err := breakEvenOne(method, size)
+		pt, err := breakEvenOnWorld(snap, method, size)
 		if err != nil {
 			return nil, fmt.Errorf("size %d: %w", size, err)
 		}
@@ -47,15 +54,51 @@ func BreakEven(method Method, sizes []uint64) ([]BreakEvenPoint, error) {
 	return out, nil
 }
 
-func breakEvenOne(method Method, size uint64) (BreakEvenPoint, error) {
-	return breakEvenOneCfg(method, ConfigFor(method), size)
+// NewWorld builds a machine from cfg and captures it at construction.
+// The snapshot is the reusable form of the configuration: hydrate any
+// number of independent clones with machine.NewFromSnapshot (cells
+// running in parallel), or rewind the origin in place between serial
+// runs. Memory is shared copy-on-write, so clones of a pristine world
+// cost a chunk-pointer table, not a memory image.
+func NewWorld(cfg machine.Config) (*machine.Snapshot, error) {
+	m, err := machine.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return m.Snapshot()
 }
 
 // BreakEvenCell measures one (method, config, size) break-even cell on
 // a fresh machine — the unit the experiment layer (internal/exp)
 // parallelises.
 func BreakEvenCell(method Method, cfg machine.Config, size uint64) (BreakEvenPoint, error) {
-	return breakEvenOneCfg(method, cfg, size)
+	m, err := machine.New(cfg)
+	if err != nil {
+		return BreakEvenPoint{}, err
+	}
+	return breakEvenOn(m, method, size)
+}
+
+// BreakEvenCellFrom measures one break-even cell on a clone hydrated
+// from a pristine world snapshot (see NewWorld). Clones are independent
+// worlds, so any number of cells can run concurrently off one snapshot.
+func BreakEvenCellFrom(snap *machine.Snapshot, method Method, size uint64) (BreakEvenPoint, error) {
+	m, err := machine.NewFromSnapshot(snap)
+	if err != nil {
+		return BreakEvenPoint{}, err
+	}
+	return breakEvenOn(m, method, size)
+}
+
+// breakEvenOnWorld rewinds the snapshot's origin machine in place and
+// measures one cell on it — the serial-sweep path, which reuses one
+// world across sizes.
+func breakEvenOnWorld(snap *machine.Snapshot, method Method, size uint64) (BreakEvenPoint, error) {
+	m, err := machine.RestoreOrigin(snap)
+	if err != nil {
+		return BreakEvenPoint{}, err
+	}
+	return breakEvenOn(m, method, size)
 }
 
 func breakEvenOneCfg(method Method, cfg machine.Config, size uint64) (BreakEvenPoint, error) {
@@ -63,6 +106,10 @@ func breakEvenOneCfg(method Method, cfg machine.Config, size uint64) (BreakEvenP
 	if err != nil {
 		return BreakEvenPoint{}, err
 	}
+	return breakEvenOn(m, method, size)
+}
+
+func breakEvenOn(m *machine.Machine, method Method, size uint64) (BreakEvenPoint, error) {
 	pageSize := m.Cfg.PageSize
 	pages := int((size + pageSize - 1) / pageSize)
 	if pages == 0 {
@@ -89,6 +136,7 @@ func breakEvenOneCfg(method Method, cfg machine.Config, size uint64) (BreakEvenP
 		pt.Initiation = m.Clock.Now() - start
 		return nil
 	})
+	var err error
 	h, err = method.Attach(m, p)
 	if err != nil {
 		return pt, err
@@ -194,11 +242,15 @@ func TrendSweep(iters int) ([]TrendPoint, error) {
 
 // breakEvenEra runs the kernel-path break-even sweep on an era's
 // machine (BreakEven always uses the 1997 preset, so the trend needs
-// its own variant).
+// its own variant). One world per era, rewound between sizes.
 func breakEvenEra(era Era, sizes []uint64) ([]BreakEvenPoint, error) {
+	snap, err := NewWorld(era.Config(dma.ModePaired, 0))
+	if err != nil {
+		return nil, err
+	}
 	var out []BreakEvenPoint
 	for _, size := range sizes {
-		pt, err := breakEvenOneCfg(KernelLevel{}, era.Config(dma.ModePaired, 0), size)
+		pt, err := breakEvenOnWorld(snap, KernelLevel{}, size)
 		if err != nil {
 			return nil, err
 		}

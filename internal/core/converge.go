@@ -1,0 +1,90 @@
+package userdma
+
+// Steady-state convergence detection for the measurement loops. The
+// paper's methodology repeats an identical initiation many times (only
+// the in-page offset cycles, with period 64); once the machine reaches
+// steady state every iteration charges exactly the same costs, and
+// simulating the remainder is wasted work. The harness therefore
+// fingerprints the whole machine after each iteration
+// (machine.Fingerprint: every counter, the clock, the TLB and engine
+// state hashes) and compares successive fingerprint *deltas*. After
+// ConvergeK consecutive identical deltas — more than a full offset
+// cycle, so any period-64 effect would have broken the streak — every
+// future iteration is provably identical, and the loop fast-forwards:
+// it synthesizes the remaining samples and advances the clock
+// analytically. Results are byte-identical to the full run; only
+// wall-clock time changes.
+
+import (
+	"sync/atomic"
+
+	"uldma/internal/machine"
+	"uldma/internal/sim"
+)
+
+// ConvergeK is how many consecutive identical machine-state deltas the
+// detector demands before fast-forwarding. It exceeds the measurement
+// loops' 64-iteration address-offset cycle, so a streak this long rules
+// out any offset-periodic variation.
+const ConvergeK = 70
+
+// fastForward gates the convergence fast-forward globally. On by
+// default; the equivalence tests switch it off to obtain full-run
+// references.
+var fastForward = true
+
+// SetFastForward enables or disables steady-state fast-forwarding and
+// returns the previous setting. Measurements are byte-identical either
+// way (that is the detector's contract — and the equivalence tests'
+// subject); only wall-clock time differs.
+func SetFastForward(on bool) (prev bool) {
+	prev = fastForward
+	fastForward = on
+	return prev
+}
+
+// ffEngagements counts fast-forward activations across all measurement
+// cells (cells run on parallel worker goroutines, hence atomic). It
+// exists so the equivalence regression test can assert the detector
+// actually fired — a silently-never-converging detector would leave
+// results correct but the optimization dead.
+var ffEngagements atomic.Int64
+
+// FastForwardEngagements returns how many measurement loops have
+// fast-forwarded since process start.
+func FastForwardEngagements() int64 { return ffEngagements.Load() }
+
+// convergence tracks fingerprint deltas across measurement iterations.
+// The zero value is ready to use.
+type convergence struct {
+	prev      machine.Fingerprint
+	delta     machine.Fingerprint
+	havePrev  bool
+	haveDelta bool
+	streak    int
+}
+
+// observe feeds the fingerprint taken at the end of one iteration and
+// reports whether the machine has converged: ConvergeK consecutive
+// iterations produced the identical state delta.
+func (c *convergence) observe(f machine.Fingerprint) bool {
+	if !c.havePrev {
+		c.prev, c.havePrev = f, true
+		return false
+	}
+	d := f.Delta(&c.prev)
+	c.prev = f
+	if c.haveDelta && d == c.delta {
+		c.streak++
+	} else {
+		c.delta, c.haveDelta = d, true
+		c.streak = 1
+	}
+	return c.streak >= ConvergeK
+}
+
+// clockDelta returns the converged per-iteration clock advance (word 0
+// of the delta vector).
+func (c *convergence) clockDelta() sim.Time {
+	return sim.Time(c.delta[0])
+}

@@ -1,0 +1,60 @@
+package userdma
+
+import (
+	"testing"
+)
+
+// TestFastForwardEquivalence is the convergence detector's contract:
+// for every initiation method, MeasureMethod with fast-forward ON
+// returns byte-identical results to the full simulation with it OFF —
+// and the detector actually engages (a silently-dead optimization
+// would pass a pure equality check).
+func TestFastForwardEquivalence(t *testing.T) {
+	const iters = 200 // > ConvergeK + warm-up, < the full 1000
+	for _, method := range AllMethods() {
+		method := method
+		t.Run(method.Name(), func(t *testing.T) {
+			prev := SetFastForward(false)
+			defer SetFastForward(prev)
+			want, err := MeasureMethod(method, ConfigFor(method), iters)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			SetFastForward(true)
+			before := FastForwardEngagements()
+			got, err := MeasureMethod(method, ConfigFor(method), iters)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("fast-forwarded result diverged:\n  ff  %+v\n  full %+v", got, want)
+			}
+			if FastForwardEngagements() == before {
+				t.Fatalf("fast-forward never engaged in %d iterations (ConvergeK=%d)", iters, ConvergeK)
+			}
+		})
+	}
+}
+
+// TestFastForwardOffMatchesGoldenPath guards the other direction: the
+// convergence machinery must not perturb a run in which it never fires
+// (iters below the streak threshold).
+func TestFastForwardOffMatchesGoldenPath(t *testing.T) {
+	const iters = ConvergeK / 2
+	method := Methods()[0]
+	prev := SetFastForward(false)
+	full, err := MeasureMethod(method, ConfigFor(method), iters)
+	SetFastForward(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, err := MeasureMethod(method, ConfigFor(method), iters)
+	SetFastForward(prev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full != short {
+		t.Fatalf("sub-threshold run differs with detector armed:\n  armed %+v\n  off   %+v", short, full)
+	}
+}

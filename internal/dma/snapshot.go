@@ -1,0 +1,169 @@
+package dma
+
+// World snapshot/restore support (see internal/machine). A snapshot is
+// taken with the world quiescent — event queue settled, every accepted
+// transfer delivered — so Transfer records are immutable from then on
+// and can be shared by pointer between the snapshot, the origin engine
+// and any number of restored clones.
+
+import (
+	"fmt"
+
+	"uldma/internal/phys"
+	"uldma/internal/sim"
+)
+
+// EngineSnapshot captures an Engine's mutable state. See
+// Engine.Snapshot.
+type EngineSnapshot struct {
+	ctxs    []regContext
+	keys    []uint64
+	pending pendingPair
+	pidTrk  bool
+	curPID  int
+	seq     seqFSM
+	pageMap map[phys.Addr]phys.Addr
+	regSrc  uint64
+	regDst  uint64
+	last    *Transfer
+	log     []*Transfer
+	busy    sim.Time
+	stats   Stats
+}
+
+// Snapshot captures the engine's register contexts, key table,
+// half-initiation slot, sequence FSM, mapped-out table, control
+// registers, transfer log and counters. Engines attached to a cluster
+// fabric refuse: in-flight link traffic lives outside the engine.
+func (e *Engine) Snapshot() (*EngineSnapshot, error) {
+	if e.remote != nil {
+		return nil, fmt.Errorf("dma: cannot snapshot an engine attached to a cluster fabric")
+	}
+	s := &EngineSnapshot{
+		ctxs:    append([]regContext(nil), e.ctxs...),
+		keys:    append([]uint64(nil), e.keys...),
+		pending: e.pending,
+		pidTrk:  e.pidTrk,
+		curPID:  e.curPID,
+		seq:     e.seq, // pattern slice is immutable after init: share it
+		regSrc:  e.regSrc,
+		regDst:  e.regDst,
+		last:    e.last,
+		log:     append([]*Transfer(nil), e.log...),
+		busy:    e.xfer.busyUntil,
+		stats:   e.stats,
+	}
+	if len(e.pageMap) > 0 {
+		s.pageMap = make(map[phys.Addr]phys.Addr, len(e.pageMap))
+		for k, v := range e.pageMap {
+			s.pageMap[k] = v
+		}
+	}
+	return s, nil
+}
+
+// Restore rewinds the engine to the snapshot. The engine must have been
+// built with the same Config as the snapshot's source (the machine
+// layer guarantees this), which pins the context count and FSM shape.
+func (e *Engine) Restore(s *EngineSnapshot) error {
+	if len(s.ctxs) != len(e.ctxs) {
+		return fmt.Errorf("dma: restore: snapshot has %d contexts, engine has %d", len(s.ctxs), len(e.ctxs))
+	}
+	copy(e.ctxs, s.ctxs)
+	copy(e.keys, s.keys)
+	e.pending = s.pending
+	e.pidTrk = s.pidTrk
+	e.curPID = s.curPID
+	e.seq = s.seq
+	for k := range e.pageMap {
+		delete(e.pageMap, k)
+	}
+	for k, v := range s.pageMap {
+		e.pageMap[k] = v
+	}
+	e.regSrc, e.regDst = s.regSrc, s.regDst
+	e.last = s.last
+	e.log = e.log[:0]
+	e.log = append(e.log, s.log...)
+	e.xfer.busyUntil = s.busy
+	e.stats = s.stats
+	return nil
+}
+
+// FingerprintLinear returns engine state whose per-iteration deltas are
+// constant in steady state — clock-like quantities that advance by the
+// same amount every identical iteration: the channel's busyUntil, the
+// last transfer's bounds, and the sum of the per-context current-
+// transfer bounds. The convergence detector (internal/core) treats each
+// as its own fingerprint word so the deltas stay linear.
+func (e *Engine) FingerprintLinear() (busyUntil, lastBounds, ctxBounds sim.Time) {
+	busyUntil = e.xfer.busyUntil
+	if e.last != nil {
+		lastBounds = e.last.Start + e.last.End
+	}
+	for i := range e.ctxs {
+		if t := e.ctxs[i].cur; t != nil {
+			ctxBounds += t.Start + t.End
+		}
+	}
+	return busyUntil, lastBounds, ctxBounds
+}
+
+// StateHash returns a hash of the engine state that must be *identical*
+// (not merely advancing uniformly) across steady-state iterations:
+// register-context argument slots, the half-initiation slot, the
+// repeated-passing FSM and the current PID. Dead values — argument
+// slots whose have-flags are clear, FSM address slots beyond the
+// current index, an invalid pending pair — are excluded: they cannot
+// influence any future decode, and including them would block
+// convergence on harmless stale addresses. The kernel control
+// registers (regSrc/regDst) are likewise excluded: every initiation
+// sequence the measurement loops issue re-programs them before the
+// size write that consumes them, so values carried across iterations
+// are dead for those workloads (see internal/core/converge.go for the
+// contract).
+func (e *Engine) StateHash() uint64 {
+	h := uint64(0x243f6a8885a308d3)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 0x100000001b3
+		h ^= h >> 29
+	}
+	for i := range e.ctxs {
+		c := &e.ctxs[i]
+		var flags uint64
+		if c.haveSrc {
+			flags |= 1
+			mix(uint64(c.src))
+		}
+		if c.haveDst {
+			flags |= 2
+			mix(uint64(c.dst))
+		}
+		if c.haveSize {
+			flags |= 4
+			mix(c.size)
+		}
+		mix(flags)
+	}
+	if e.pending.valid {
+		mix(uint64(e.pending.dst))
+		mix(e.pending.size)
+		mix(uint64(e.pending.pid))
+		mix(1)
+	} else {
+		mix(0)
+	}
+	mix(uint64(e.seq.idx))
+	for i := 0; i < e.seq.idx && i < len(e.seq.addrs); i++ {
+		mix(uint64(e.seq.addrs[i]))
+	}
+	if e.seq.haveSize {
+		mix(e.seq.size)
+		mix(1)
+	} else {
+		mix(0)
+	}
+	mix(uint64(e.curPID))
+	return h
+}

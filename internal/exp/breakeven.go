@@ -33,10 +33,18 @@ func BreakEvenMethods() []userdma.Method {
 func breakEvenCells(p Params) ([]Cell, error) {
 	var cells []Cell
 	for _, method := range BreakEvenMethods() {
+		// One pristine world per (method, config) family; every cell on
+		// this row hydrates an independent clone from it instead of
+		// rebuilding a machine — clones share memory copy-on-write and
+		// are safe to expand in parallel.
+		snap, err := userdma.NewWorld(userdma.ConfigFor(method))
+		if err != nil {
+			return nil, err
+		}
 		for _, size := range p.sizes() {
 			method, size := method, size
 			cells = append(cells, Cell{Method: method.Name(), Size: size, Run: func() (Obs, bool, error) {
-				pt, err := userdma.BreakEvenCell(method, userdma.ConfigFor(method), size)
+				pt, err := userdma.BreakEvenCellFrom(snap, method, size)
 				if err != nil {
 					return Obs{}, false, fmt.Errorf("size %d: %w", size, err)
 				}

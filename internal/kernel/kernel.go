@@ -124,6 +124,7 @@ type Kernel struct {
 
 	shrimp2Hook bool
 	flashHook   bool
+	palDMA      bool
 	watches     []writeWatch
 	stats       Stats
 }
@@ -160,6 +161,11 @@ func New(cfg Config, c *cpu.CPU, mem *phys.Memory, engine *dma.Engine, runner *p
 
 // Stats returns a snapshot of the counters.
 func (k *Kernel) Stats() Stats { return k.stats }
+
+// RNGState exposes the key RNG's position for the machine fingerprint:
+// SplitMix64 advances its state by a constant per draw, so in steady
+// state the delta per iteration is constant.
+func (k *Kernel) RNGState() uint64 { return k.rng.State() }
 
 // Engine returns the DMA engine the kernel manages.
 func (k *Kernel) Engine() *dma.Engine { return k.engine }
@@ -201,15 +207,24 @@ func (k *Kernel) MapFrame(as *vm.AddressSpace, va vm.VAddr, frame phys.Addr, pro
 // a process can only pass physical addresses it could access anyway.
 // This is the once-per-page setup cost of every user-level scheme.
 func (k *Kernel) MapShadow(p *proc.Process, va vm.VAddr) error {
-	as := p.AddressSpace()
+	ctx := 0
+	if c, ok := k.procCtx[p.PID()]; ok {
+		ctx = c
+	}
+	return k.MapShadowAS(p.AddressSpace(), ctx, va)
+}
+
+// MapShadowAS is MapShadow for an address space with no process
+// attached yet: warmed scenario templates (internal/core) build and
+// map their spaces once, snapshot the world, and only spawn processes
+// into them per run. ctx is the register-context id to burn into the
+// shadow encoding — 0 when the eventual owner holds no context, which
+// is always the case in repeated-passing mode.
+func (k *Kernel) MapShadowAS(as *vm.AddressSpace, ctx int, va vm.VAddr) error {
 	base := as.PageBase(va)
 	pte, ok := as.Lookup(base)
 	if !ok {
 		return fmt.Errorf("kernel: MapShadow: %v not mapped", va)
-	}
-	ctx := 0
-	if c, ok := k.procCtx[p.PID()]; ok {
-		ctx = c
 	}
 	cfg := k.engine.Config()
 	prot := pte.Prot
@@ -397,6 +412,7 @@ const PALUserDMA = "user_level_dma"
 // installs it once; afterwards any process may invoke it — no kernel
 // modification involved.
 func (k *Kernel) InstallPALDMA() {
+	k.palDMA = true
 	k.runner.InstallPAL(PALUserDMA, func(p *proc.Process, args []uint64) (uint64, error) {
 		if len(args) != 3 {
 			return dma.StatusFailure, fmt.Errorf("kernel: %s wants (vsrc, vdst, size)", PALUserDMA)

@@ -1,0 +1,96 @@
+package kernel
+
+// World snapshot/restore support (see internal/machine). The kernel's
+// mutable state is bookkeeping — the ASID and frame allocators, the
+// register-context ownership tables, the key RNG position, the
+// counters — plus three installation flags (SHRIMP-2 hook, FLASH hook,
+// PAL DMA routine) that a clone re-enacts against its own runner and
+// engine rather than sharing closures bound to the origin.
+
+import (
+	"fmt"
+
+	"uldma/internal/phys"
+	"uldma/internal/proc"
+)
+
+// Snapshot captures a Kernel's mutable state. See Kernel.Snapshot.
+type Snapshot struct {
+	rngState  uint64
+	nextASID  int
+	nextFrame phys.Addr
+	ctxOwner  []proc.PID
+	keys      []uint64
+	procCtx   map[proc.PID]int
+	shrimp2   bool
+	flash     bool
+	palDMA    bool
+	stats     Stats
+}
+
+// SHRIMP2Hook reports whether the SHRIMP-2 context-switch hook was
+// installed at snapshot time (the machine layer re-enables it on
+// clones).
+func (s *Snapshot) SHRIMP2Hook() bool { return s.shrimp2 }
+
+// FLASHHook reports whether the FLASH context-switch hook was installed
+// at snapshot time.
+func (s *Snapshot) FLASHHook() bool { return s.flash }
+
+// PALDMAInstalled reports whether the user_level_dma PAL routine was
+// installed at snapshot time.
+func (s *Snapshot) PALDMAInstalled() bool { return s.palDMA }
+
+// Snapshot captures the kernel's bookkeeping. It fails if any process
+// is asleep on a receive-interrupt watch: a watch holds a blocked
+// process, which contradicts the quiescence a snapshot requires.
+func (k *Kernel) Snapshot() (*Snapshot, error) {
+	if len(k.watches) != 0 {
+		return nil, fmt.Errorf("kernel: cannot snapshot with %d processes blocked on remote-write watches", len(k.watches))
+	}
+	s := &Snapshot{
+		rngState:  k.rng.State(),
+		nextASID:  k.nextASID,
+		nextFrame: k.nextFrame,
+		ctxOwner:  append([]proc.PID(nil), k.ctxOwner...),
+		keys:      append([]uint64(nil), k.keys...),
+		procCtx:   make(map[proc.PID]int, len(k.procCtx)),
+		shrimp2:   k.shrimp2Hook,
+		flash:     k.flashHook,
+		palDMA:    k.palDMA,
+		stats:     k.stats,
+	}
+	for pid, ctx := range k.procCtx {
+		s.procCtx[pid] = ctx
+	}
+	return s, nil
+}
+
+// Restore rewinds the kernel's bookkeeping to the snapshot. Hook and
+// PAL *installations* are not performed here: for the in-place path
+// the runner truncates its hook chains back to the snapshot lengths,
+// and for the clone path the machine layer calls EnableSHRIMP2Hook /
+// EnableFLASHHook / InstallPALDMA on the clone before restoring, so
+// the closures are bound to the clone's own kernel.
+func (k *Kernel) Restore(s *Snapshot) error {
+	if len(s.ctxOwner) != len(k.ctxOwner) {
+		return fmt.Errorf("kernel: restore: snapshot has %d register contexts, kernel has %d", len(s.ctxOwner), len(k.ctxOwner))
+	}
+	k.rng.SetState(s.rngState)
+	k.nextASID = s.nextASID
+	k.nextFrame = s.nextFrame
+	copy(k.ctxOwner, s.ctxOwner)
+	copy(k.keys, s.keys)
+	for pid := range k.procCtx {
+		delete(k.procCtx, pid)
+	}
+	for pid, ctx := range s.procCtx {
+		k.procCtx[pid] = ctx
+	}
+	k.shrimp2Hook = s.shrimp2
+	k.flashHook = s.flash
+	k.palDMA = s.palDMA
+	k.watches = k.watches[:0]
+	k.stats = s.stats
+	return nil
+}

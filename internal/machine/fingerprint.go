@@ -1,0 +1,155 @@
+package machine
+
+// Steady-state fingerprinting for the convergence detector in
+// internal/core. A Fingerprint is a fixed vector of machine-state
+// words sampled between measurement iterations; the detector compares
+// successive *deltas*, not the fingerprints themselves.
+//
+// Each word is one of two kinds, and the split is the whole trick:
+//
+//   - Linear words advance by a constant amount per identical
+//     iteration: the clock, every activity counter, the engine
+//     channel's busyUntil and transfer-bound sums, the TLB's LRU tick,
+//     the kernel's SplitMix64 RNG position (state += constant per
+//     draw). Their deltas repeat exactly in steady state.
+//
+//   - Hash words must be *identical* across steady-state iterations
+//     (delta zero): the TLB's structural content (excluding LRU
+//     stamps), the engine's register/FSM/control state with dead
+//     values excluded. If any live decision-relevant state drifts,
+//     the hash changes, the deltas differ, and fast-forward is
+//     (correctly, conservatively) refused.
+//
+// If K consecutive iteration deltas are equal, every subsequent
+// iteration is provably going to charge the same costs — the machine
+// state that any decode or cost path can observe is either identical
+// or advancing uniformly — so the harness can synthesize the remaining
+// samples analytically and advance the clock in one step.
+
+// FingerprintLen is the number of words in a Fingerprint.
+const FingerprintLen = 50
+
+// Fingerprint is one machine-state sample. Compare deltas with Delta.
+type Fingerprint [FingerprintLen]uint64
+
+// Delta returns the word-wise difference cur - prev (wrapping). In
+// steady state the delta vector is the same every iteration.
+func (cur *Fingerprint) Delta(prev *Fingerprint) Fingerprint {
+	var d Fingerprint
+	for i := range cur {
+		d[i] = cur[i] - prev[i]
+	}
+	return d
+}
+
+// Fingerprint samples the machine's steady-state fingerprint. It is
+// cheap (no allocation) and safe to call from guest code between
+// instructions — the world is strictly serialized there.
+func (m *Machine) Fingerprint() Fingerprint {
+	var f Fingerprint
+	i := 0
+	put := func(v uint64) { f[i] = v; i++ }
+
+	// Clock (linear).
+	put(uint64(m.Clock.Now()))
+
+	// CPU counters (linear).
+	cs := m.CPU.Stats()
+	put(cs.Instructions)
+	put(cs.Loads)
+	put(cs.Stores)
+	put(cs.RMWs)
+	put(cs.Barriers)
+	put(cs.DeviceAccess)
+	put(cs.MemoryAccess)
+	put(uint64(cs.ComputeCycles))
+
+	// TLB: counters and LRU tick (linear), structure (hash).
+	ts := m.CPU.TLB().Stats()
+	put(ts.Hits)
+	put(ts.Misses)
+	put(m.CPU.TLB().Tick())
+	put(m.CPU.TLB().StateHash())
+
+	// Bus counters (linear).
+	bs := m.Bus.Stats()
+	put(bs.Loads)
+	put(bs.Stores)
+	put(bs.RMWs)
+	put(uint64(bs.BusyCycles))
+	put(uint64(bs.StolenCycles))
+	put(bs.Errors)
+
+	// Write buffer: counters (linear) and occupancy (hash-like; must
+	// be identical in steady state).
+	ws := m.WB.Stats()
+	put(ws.Enqueued)
+	put(ws.Coalesced)
+	put(ws.LoadForwards)
+	put(ws.Drains)
+	put(ws.DrainedOps)
+	put(uint64(m.WB.Pending()))
+
+	// Physical memory counters (linear).
+	ms := m.Mem.Stats()
+	put(ms.Reads)
+	put(ms.Writes)
+	put(ms.BytesRead)
+	put(ms.BytesWrote)
+
+	// DMA engine: counters (linear), channel/transfer clocks (linear),
+	// register/FSM state (hash). Completed is deliberately absent: it
+	// advances when a queued completion event fires, and under the
+	// measurement loops the engine's 2 µs startup outruns the ~1 µs
+	// initiation cadence, so completions fire at a rate incommensurate
+	// with the iteration period. Firing one only flips bookkeeping
+	// (delivered flag, Completed counter) that no decode or cost path
+	// reads — status reads are analytic in the clock
+	// (Transfer.Remaining) — so it cannot perturb a measurement.
+	// BytesMoved stays: it moves with the same events but only for
+	// payload-carrying transfers, whose burst deliveries also touch the
+	// memory counters below — a deliberate brake on fast-forwarding any
+	// loop with data movement still in flight.
+	es := m.Engine.Stats()
+	put(es.ShadowStores)
+	put(es.ShadowLoads)
+	put(es.KeyMismatches)
+	put(es.SeqResets)
+	put(es.Started)
+	put(es.Rejected)
+	put(es.BytesMoved)
+	put(es.AtomicOps)
+	put(es.RemoteStarted)
+	put(es.AbortedPending)
+	busy, lastBounds, ctxBounds := m.Engine.FingerprintLinear()
+	put(uint64(busy))
+	put(uint64(lastBounds))
+	put(uint64(ctxBounds))
+	put(m.Engine.StateHash())
+
+	// The event queue is deliberately not fingerprinted. Its population
+	// is the not-yet-fired completion bookkeeping discussed above: the
+	// queue grows while the engine's busy horizon outruns the clock,
+	// and drains at a cadence incommensurate with the iteration period.
+	// What those events *do* when they fire is already covered — burst
+	// deliveries move the memory and engine byte counters, finishes
+	// flip state no cost path reads.
+
+	// Scheduler counters (linear).
+	rs := m.Runner.Stats()
+	put(rs.Slots)
+	put(rs.Switches)
+	put(uint64(rs.SwitchTime))
+
+	// Kernel counters and RNG position (linear).
+	ks := m.Kernel.Stats()
+	put(ks.Syscalls)
+	put(ks.DMASyscalls)
+	put(ks.Faults)
+	put(m.Kernel.RNGState())
+
+	if i != FingerprintLen {
+		panic("machine: fingerprint layout out of sync with FingerprintLen")
+	}
+	return f
+}

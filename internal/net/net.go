@@ -69,7 +69,9 @@ func NewCluster(n int, cfg machine.Config, link LinkConfig) (*Cluster, error) {
 		return nil, fmt.Errorf("net: zero link bandwidth")
 	}
 	clock := sim.NewClock()
-	events := sim.NewEventQueue()
+	// One shared queue serves every node: size it for the whole cluster
+	// (per-node completions plus in-flight fabric packets).
+	events := sim.NewEventQueueSize(n * machine.EventQueueHint)
 	c := &Cluster{Clock: clock, Events: events}
 	c.Fabric = &Fabric{cluster: c, link: link}
 	for i := 0; i < n; i++ {

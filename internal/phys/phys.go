@@ -72,9 +72,13 @@ type Stats struct {
 // a handful of pages are ever touched. Eagerly allocating (and zeroing)
 // the flat array dominated the whole simulator's host-CPU profile
 // (~70% in memclr); lazy chunks cut the fixed per-world cost to a
-// 64-entry pointer table.
+// small pointer table. Chunks are page-sized (8 KiB) so that the
+// snapshot machinery's copy-on-write granularity matches the unit the
+// workloads actually touch: restoring a world after a run re-shares
+// whole chunks, and the first post-snapshot write to a page clones
+// exactly that page.
 const (
-	chunkShift = 16 // 64 KiB chunks
+	chunkShift = 13 // 8 KiB chunks: one simulated page per chunk
 	chunkSize  = 1 << chunkShift
 	chunkMask  = chunkSize - 1
 )
@@ -86,6 +90,7 @@ const (
 type Memory struct {
 	size   int
 	chunks [][]byte // lazily allocated; nil chunk reads as zeros
+	shared []bool   // chunk is owned by a snapshot: copy before write
 	stats  Stats
 }
 
@@ -109,7 +114,12 @@ func (m *Memory) Size() int { return m.size }
 func (m *Memory) chunkRO(addr Addr) []byte { return m.chunks[addr>>chunkShift] }
 
 // chunkRW returns the chunk containing addr, materializing it on first
-// write.
+// write. Chunks owned by a snapshot (copy-on-write) are cloned on the
+// first write after Snapshot/Restore, so snapshot contents are immutable
+// and worlds restored from the same snapshot never see each other's
+// writes. Every mutating path (Write, WriteBytes, Copy, Fill) funnels
+// through here, which is what makes the single shared-flag check a
+// complete COW barrier.
 func (m *Memory) chunkRW(addr Addr) []byte {
 	i := addr >> chunkShift
 	c := m.chunks[i]
@@ -120,8 +130,71 @@ func (m *Memory) chunkRW(addr Addr) []byte {
 		}
 		c = make([]byte, n)
 		m.chunks[i] = c
+	} else if m.shared != nil && m.shared[i] {
+		dup := make([]byte, len(c))
+		copy(dup, c)
+		m.chunks[i] = dup
+		m.shared[i] = false
+		c = dup
 	}
 	return c
+}
+
+// Snapshot is an O(#materialized chunks) copy-on-write capture of a
+// Memory's contents and access counters. The byte slices it references
+// are frozen: after Snapshot(), the first write to a captured chunk —
+// by the original memory or by any memory restored from the snapshot —
+// clones that chunk first. A snapshot can therefore back any number of
+// worlds, including worlds running concurrently on different
+// goroutines, without copies of the untouched majority of RAM.
+type Snapshot struct {
+	size   int
+	chunks [][]byte
+	stats  Stats
+}
+
+// Snapshot captures the current contents. It marks every materialized
+// chunk copy-on-write in m, so m's subsequent writes cannot leak into
+// the snapshot.
+func (m *Memory) Snapshot() *Snapshot {
+	if m.shared == nil {
+		m.shared = make([]bool, len(m.chunks))
+	}
+	s := &Snapshot{size: m.size, chunks: make([][]byte, len(m.chunks)), stats: m.stats}
+	for i, c := range m.chunks {
+		if c != nil {
+			m.shared[i] = true
+		}
+		s.chunks[i] = c
+	}
+	return s
+}
+
+// Restore rewinds m to the snapshot's contents and counters, in
+// O(#chunks): it re-points the chunk table at the snapshot's frozen
+// chunks and re-marks them copy-on-write. The snapshot must come from a
+// memory of the same size.
+func (m *Memory) Restore(s *Snapshot) error {
+	if s.size != m.size {
+		return &Error{Op: "restore", Addr: 0, Size: 0, Why: "snapshot is from a different-sized memory"}
+	}
+	if m.shared == nil {
+		m.shared = make([]bool, len(m.chunks))
+	}
+	for i, c := range s.chunks {
+		m.chunks[i] = c
+		m.shared[i] = c != nil
+	}
+	m.stats = s.stats
+	return nil
+}
+
+// FromSnapshot builds a fresh Memory whose initial contents are the
+// snapshot's, sharing the frozen chunks copy-on-write.
+func FromSnapshot(s *Snapshot) *Memory {
+	m := New(s.size)
+	m.Restore(s) // same size by construction
+	return m
 }
 
 // Stats returns a snapshot of the access counters.

@@ -151,3 +151,9 @@ func (c *Clock) AdvanceTo(t Time) {
 		c.now = t
 	}
 }
+
+// Reset rewinds (or advances) the clock to exactly t. It exists solely
+// for world snapshot/restore (machine.Snapshot / machine.Restore):
+// ordinary simulation code must only move time forward through Advance
+// and AdvanceTo, which preserve monotonicity.
+func (c *Clock) Reset(t Time) { c.now = t }

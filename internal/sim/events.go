@@ -44,6 +44,43 @@ type EventQueue struct {
 // NewEventQueue returns an empty queue.
 func NewEventQueue() *EventQueue { return &EventQueue{} }
 
+// NewEventQueueSize returns an empty queue whose heap and free list are
+// pre-sized for roughly hint simultaneously pending events. Only
+// capacity is reserved — no Event objects are allocated up front — so
+// construction stays cheap while the first hint schedules avoid the
+// append-growth reallocations that would otherwise show up as steady-
+// state allocations in tight device loops.
+func NewEventQueueSize(hint int) *EventQueue {
+	if hint <= 0 {
+		return &EventQueue{}
+	}
+	return &EventQueue{
+		h:    make(eventHeap, 0, hint),
+		free: make([]*Event, 0, hint),
+	}
+}
+
+// SnapshotSeq returns the queue's scheduling tie-break counter, for
+// world snapshot/restore. Snapshots are only taken with the queue
+// settled (Len() == 0), so the counter is the queue's entire state.
+func (q *EventQueue) SnapshotSeq() uint64 { return q.seq }
+
+// Reset discards every pending event without firing it and rewinds the
+// tie-break counter to seq, as part of restoring a world snapshot.
+// Discarded pooled events return to the free list; outstanding handles
+// observe Cancelled.
+func (q *EventQueue) Reset(seq uint64) {
+	for _, e := range q.h {
+		e.index = idxCancelled
+		q.release(e)
+	}
+	for i := range q.h {
+		q.h[i] = nil
+	}
+	q.h = q.h[:0]
+	q.seq = seq
+}
+
 // Schedule enqueues fire to run at time at and returns a handle that can
 // be passed to Cancel. Handle-returning events are never pooled: the
 // caller may hold the handle indefinitely, so recycling could alias a

@@ -35,6 +35,15 @@ func (r *Rand) Intn(n int) int {
 // Bool returns a pseudo-random boolean.
 func (r *Rand) Bool() bool { return r.Uint64()&1 == 1 }
 
+// State returns the generator's internal state so a snapshot can pin
+// the exact position in the stream. Restoring with SetState replays the
+// identical remaining sequence.
+func (r *Rand) State() uint64 { return r.state }
+
+// SetState overwrites the generator's internal state. Used by world
+// snapshot/restore; pair with State.
+func (r *Rand) SetState(s uint64) { r.state = s }
+
 // Perm returns a pseudo-random permutation of [0, n).
 func (r *Rand) Perm(n int) []int {
 	p := make([]int, n)

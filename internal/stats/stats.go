@@ -16,10 +16,19 @@ import (
 // Sample accumulates simulated-time observations.
 type Sample struct {
 	values []sim.Time
+	// sorted caches the ascending order of values across repeated
+	// Percentile calls (renderers ask for several percentiles of the
+	// same finished sample — min/p50/p90/max per table row — and
+	// re-sorting a copy per call dominated Sample's cost). Add
+	// invalidates it.
+	sorted []sim.Time
 }
 
-// Add records one observation.
-func (s *Sample) Add(v sim.Time) { s.values = append(s.values, v) }
+// Add records one observation and invalidates the cached sort order.
+func (s *Sample) Add(v sim.Time) {
+	s.values = append(s.values, v)
+	s.sorted = nil
+}
 
 // N returns the number of observations.
 func (s *Sample) N() int { return len(s.values) }
@@ -65,13 +74,18 @@ func (s *Sample) Max() sim.Time {
 }
 
 // Percentile returns the p-th percentile (0 <= p <= 100) by
-// nearest-rank on a sorted copy.
+// nearest-rank. The sorted order is computed once and cached until the
+// next Add, so asking one sample for several percentiles sorts once.
 func (s *Sample) Percentile(p float64) sim.Time {
 	if len(s.values) == 0 {
 		return 0
 	}
-	sorted := append([]sim.Time(nil), s.values...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	sorted := s.sorted
+	if sorted == nil {
+		sorted = append([]sim.Time(nil), s.values...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		s.sorted = sorted
+	}
 	if p <= 0 {
 		return sorted[0]
 	}

@@ -149,3 +149,60 @@ func TestRatioAndDelta(t *testing.T) {
 		t.Fatal("zero reference")
 	}
 }
+
+// TestPercentileSmallN pins the nearest-rank edge cases the cached-sort
+// path must preserve: empty, singleton and pair samples.
+func TestPercentileSmallN(t *testing.T) {
+	var s Sample
+	if got := s.Percentile(50); got != 0 {
+		t.Fatalf("n=0: p50 = %v, want 0", got)
+	}
+	s.Add(7)
+	for _, p := range []float64{0, 50, 100} {
+		if got := s.Percentile(p); got != 7 {
+			t.Fatalf("n=1: p%v = %v, want 7", p, got)
+		}
+	}
+	s.Add(3) // unsorted insertion: cache must re-sort after Add
+	if got := s.Percentile(0); got != 3 {
+		t.Fatalf("n=2: p0 = %v, want 3", got)
+	}
+	if got := s.Percentile(50); got != 3 {
+		t.Fatalf("n=2: p50 (nearest-rank) = %v, want 3", got)
+	}
+	if got := s.Percentile(100); got != 7 {
+		t.Fatalf("n=2: p100 = %v, want 7", got)
+	}
+}
+
+// TestPercentileCacheInvalidation verifies that Add after a Percentile
+// call invalidates the cached order, and that repeated calls on an
+// unchanged sample reuse it (no per-call sort copy).
+func TestPercentileCacheInvalidation(t *testing.T) {
+	var s Sample
+	for _, v := range []sim.Time{50, 10, 40} {
+		s.Add(v)
+	}
+	if got := s.Percentile(100); got != 50 {
+		t.Fatalf("p100 = %v, want 50", got)
+	}
+	if s.sorted == nil {
+		t.Fatal("cache not populated by Percentile")
+	}
+	// A new maximum must be visible to the next call.
+	s.Add(99)
+	if s.sorted != nil {
+		t.Fatal("Add did not invalidate the cache")
+	}
+	if got := s.Percentile(100); got != 99 {
+		t.Fatalf("p100 after Add = %v, want 99", got)
+	}
+	// Unchanged sample: repeated percentiles allocate nothing.
+	allocs := testing.AllocsPerRun(20, func() {
+		s.Percentile(50)
+		s.Percentile(90)
+	})
+	if allocs != 0 {
+		t.Fatalf("cached percentiles: %v allocs/op, want 0", allocs)
+	}
+}
