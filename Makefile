@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench ci baseline golden benchdiff profile
+.PHONY: all build vet test race bench ci baseline baseline-fault golden benchdiff profile
 
 all: ci
 
@@ -37,6 +37,14 @@ ci: build vet race benchdiff
 # byte-identical for any -procs value).
 baseline:
 	$(GO) run ./cmd/dmabench -json -sweep -breakeven -trend -comparators > BENCH_baseline.json
+
+# Regenerate the fault-injection snapshot (faultsweep goodput/latency
+# grid, link-down recovery, model-checked delivery search) in raw
+# simulated picoseconds. Compare historical snapshots with
+# `go run ./cmd/benchdiff old.json new.json` — rows that exist on only
+# one side are reported as added/removed, never as failures.
+baseline-fault:
+	$(GO) run ./cmd/faultsim -json > BENCH_fault.json
 
 # Compare the current model's simulated-time numbers against the
 # committed baseline snapshot. Every value is exact simulated time, so

@@ -17,6 +17,10 @@
 // default exit status is 0 regardless (make ci runs benchdiff as a
 // non-fatal report; an intentional model change is committed via `make
 // baseline`); -fatal makes deltas beyond -tol percent fail the run.
+// Leaves present on only one side — a new experiment in the current
+// document, or a section retired from it — are listed as added/removed
+// and are never fatal: growing or pruning the benchmark surface is a
+// deliberate act, not a regression.
 package main
 
 import (
@@ -87,17 +91,21 @@ func run(args []string, iters, procs int, tol float64, fatal bool) error {
 	}
 	sort.Strings(ordered)
 
-	flagged, same := 0, 0
+	flagged, same, added, removed := 0, 0, 0, 0
 	for _, p := range ordered {
 		b, inB := bleaves[p]
 		c, inC := cleaves[p]
 		switch {
 		case !inB:
-			fmt.Printf("+ %-60s %15.0f (new)\n", p, c)
-			flagged++
+			// A leaf only the current document has: a new experiment or
+			// column, not a regression. Reported, never fatal.
+			fmt.Printf("+ %-60s %15.0f (added)\n", p, c)
+			added++
 		case !inC:
-			fmt.Printf("- %-60s %15.0f (gone)\n", p, b)
-			flagged++
+			// A leaf only the baseline has: a retired section. Reported,
+			// never fatal — retiring data is a deliberate act.
+			fmt.Printf("- %-60s %15.0f (removed)\n", p, b)
+			removed++
 		case b != c:
 			pct := math.Inf(1)
 			if b != 0 {
@@ -113,8 +121,8 @@ func run(args []string, iters, procs int, tol float64, fatal bool) error {
 			same++
 		}
 	}
-	fmt.Printf("benchdiff vs %s: %d leaves compared, %d flagged, %d unchanged\n",
-		basePath, len(ordered), flagged, same)
+	fmt.Printf("benchdiff vs %s: %d leaves compared, %d flagged, %d unchanged, %d added, %d removed\n",
+		basePath, len(ordered), flagged, same, added, removed)
 	if flagged > 0 && fatal {
 		return fmt.Errorf("%d leaves differ", flagged)
 	}

@@ -33,7 +33,7 @@ func buildTools(t *testing.T) string {
 		if buildErr != nil {
 			return
 		}
-		for _, tool := range []string{"dmabench", "report", "oslat", "clustersim", "attacksim"} {
+		for _, tool := range []string{"dmabench", "report", "oslat", "clustersim", "attacksim", "faultsim"} {
 			cmd := exec.Command("go", "build", "-o", filepath.Join(buildDir, tool), "./cmd/"+tool)
 			if out, err := cmd.CombinedOutput(); err != nil {
 				buildErr = err
@@ -74,6 +74,8 @@ var goldenCases = []struct {
 	{"report.md", "report", []string{"-iters", "100", "-seeds", "8"}},
 	{"report.json", "report", []string{"-iters", "100", "-json"}},
 	{"oslat.txt", "oslat", []string{"-iters", "1000"}},
+	{"faultsim.txt", "faultsim", []string{"-msgs", "8", "-seeds", "2", "-depth", "3"}},
+	{"faultsim.json", "faultsim", []string{"-msgs", "8", "-seeds", "2", "-depth", "3", "-json"}},
 }
 
 // TestGolden pins the rendered output of every tool: text, markdown and
@@ -134,6 +136,9 @@ func TestSmoke(t *testing.T) {
 		{"clustersim-hist", "clustersim", []string{"-msgs", "4", "-hist", "-gigabit=false"}, "latency distribution"},
 		{"attacksim", "attacksim", []string{"-slots", "2", "-seeds", "3"}, "exhaustive search"},
 		{"attacksim-list", "attacksim", []string{"-list"}, "campaign"},
+		{"faultsim", "faultsim", []string{"-msgs", "4", "-seeds", "2", "-depth", "2"}, "Reliable channel under loss"},
+		{"faultsim-list", "faultsim", []string{"-list"}, "faultsweep"},
+		{"faultsim-json", "faultsim", []string{"-msgs", "4", "-seeds", "2", "-depth", "2", "-json", "-procs", "2"}, "\"Sweep\""},
 	}
 	for _, tc := range cases {
 		tc := tc

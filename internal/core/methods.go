@@ -123,9 +123,14 @@ func (e ExtShadow) Attach(m *machine.Machine, p *proc.Process) (*Handle, error) 
 		retries = 64
 	}
 	var lastSrc vm.VAddr
+	// Reuse one instruction buffer across initiations: the per-call
+	// Program literal was one heap allocation per message send.
+	var seq [2]isa.Instr
 	h.initiate = func(c *proc.Context, src, dst vm.VAddr, size uint64) (uint64, error) {
 		lastSrc = src
-		prog := h.compile(src, dst, size)
+		seq[0] = isa.Store(shadow(dst), phys.Size64, size, "pass size; shadow(vdst) carries pdst+ctx")
+		seq[1] = isa.Load(shadow(src), phys.Size64, "pass psrc; starts DMA; returns status")
+		prog := isa.Program(seq[:])
 		if !e.NoContexts {
 			return runProgram(c, prog)
 		}
@@ -479,16 +484,17 @@ func pairedHandle(method Method, m *machine.Machine, p *proc.Process, maxRetries
 // --- shared execution helpers ---
 
 // runProgram executes prog on the guest context and returns the LAST
-// load's value (the status word).
+// load's value (the status word). It uses the allocation-free isa
+// entry point: this sits on the per-message send path.
 func runProgram(c *proc.Context, prog isa.Program) (uint64, error) {
-	vals, err := isa.Run(c, prog)
+	v, ok, err := isa.RunLast(c, prog)
 	if err != nil {
 		return dma.StatusFailure, err
 	}
-	if len(vals) == 0 {
+	if !ok {
 		return dma.StatusFailure, fmt.Errorf("userdma: sequence produced no status")
 	}
-	return vals[len(vals)-1], nil
+	return v, nil
 }
 
 // runCheckedProgram executes prog but aborts the attempt as soon as any

@@ -970,7 +970,10 @@ type fakeRemote struct {
 }
 
 func (r *fakeRemote) Deliver(node int, addr phys.Addr, data []byte, at sim.Time) error {
-	r.node, r.addr, r.data, r.at = node, addr, data, at
+	// Deliver must not retain data (the engine reuses the buffer), so
+	// keep a copy for the assertions.
+	r.node, r.addr, r.at = node, addr, at
+	r.data = append(r.data[:0], data...)
 	r.n++
 	return nil
 }

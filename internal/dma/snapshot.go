@@ -39,6 +39,11 @@ func (e *Engine) Snapshot() (*EngineSnapshot, error) {
 	if e.remote != nil {
 		return nil, fmt.Errorf("dma: cannot snapshot an engine attached to a cluster fabric")
 	}
+	if !e.logging {
+		// Without the transfer log the snapshot could not restore the
+		// engine faithfully (and recycled records are mutable).
+		return nil, fmt.Errorf("dma: cannot snapshot an engine with transfer logging disabled")
+	}
 	s := &EngineSnapshot{
 		ctxs:    append([]regContext(nil), e.ctxs...),
 		keys:    append([]uint64(nil), e.keys...),

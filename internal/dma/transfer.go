@@ -108,7 +108,8 @@ func (e *Engine) start(now sim.Time, src, dst phys.Addr, size uint64) (*Transfer
 			duration = sim.Nanosecond
 		}
 	}
-	t := &Transfer{Src: src, Dst: dst, Size: size, Start: begin, End: begin + duration}
+	t := e.newTransfer()
+	t.Src, t.Dst, t.Size, t.Start, t.End = src, dst, size, begin, begin+duration
 	if e.cfg.RemoteBase != 0 && dst >= e.cfg.RemoteBase {
 		t.Remote = true
 		off := uint64(dst - e.cfg.RemoteBase)
@@ -119,7 +120,9 @@ func (e *Engine) start(now sim.Time, src, dst phys.Addr, size uint64) (*Transfer
 	e.xfer.busyUntil = t.End
 	e.stats.Started++
 	e.last = t
-	e.log = append(e.log, t)
+	if e.logging {
+		e.log = append(e.log, t)
+	}
 	if e.reserver != nil && t.End > t.Start {
 		// The engine masters the bus while it streams: CPU traffic in
 		// this window pays contention.
@@ -130,25 +133,63 @@ func (e *Engine) start(now sim.Time, src, dst phys.Addr, size uint64) (*Transfer
 	return t, true
 }
 
-// snapshot reads the whole payload at acceptance time. Only the
-// bare-engine and remote paths need it; local event-driven transfers
-// re-read each burst at its burst time and never touch this copy, so
-// skipping the snapshot there removes a per-transfer allocation of the
-// full payload size from the hot path.
+// newTransfer returns a Transfer record: fresh while the log is kept
+// (records are retained forever), recycled from the free list once
+// logging is off (see Engine.SetLogging).
+func (e *Engine) newTransfer() *Transfer {
+	if !e.logging {
+		if n := len(e.freeT); n > 0 {
+			t := e.freeT[n-1]
+			e.freeT = e.freeT[:n-1]
+			*t = Transfer{}
+			return t
+		}
+	}
+	return &Transfer{}
+}
+
+// snapshot reads the whole payload at acceptance time into a pooled
+// buffer (returned to the pool by the delivery path via putBuf). Only
+// the bare-engine and remote paths need it; local event-driven
+// transfers re-read each burst at its burst time and never touch this
+// copy, so skipping the snapshot there removes a per-transfer
+// allocation of the full payload size from the hot path.
 func (e *Engine) snapshot(t *Transfer) []byte {
-	data, err := e.mem.ReadBytes(t.Src, int(t.Size))
-	if err != nil {
+	data := e.getBuf(t.Size)
+	if err := e.mem.ReadInto(t.Src, data); err != nil {
 		// validate() bounds-checked; failure here is a model bug.
 		panic(err)
 	}
 	return data
 }
 
-// startCtx starts a transfer on behalf of register context ctx.
+// getBuf pops a pooled payload buffer of length n (allocating if the
+// pool is empty or its top is too small).
+func (e *Engine) getBuf(n uint64) []byte {
+	if k := len(e.freeBuf); k > 0 && uint64(cap(e.freeBuf[k-1])) >= n {
+		b := e.freeBuf[k-1][:n]
+		e.freeBuf = e.freeBuf[:k-1]
+		return b
+	}
+	return make([]byte, n)
+}
+
+// putBuf returns a payload buffer to the pool.
+func (e *Engine) putBuf(b []byte) { e.freeBuf = append(e.freeBuf, b) }
+
+// startCtx starts a transfer on behalf of register context ctx. With
+// logging off, the context's previous transfer is recycled here: once a
+// context moves on, nothing can reach the old record any more (e.last
+// already points at the new one, status polls go through ctxs[ctx].cur,
+// and delivered transfers have no pending events).
 func (e *Engine) startCtx(now sim.Time, ctx int, src, dst phys.Addr, size uint64) (*Transfer, bool) {
+	old := e.ctxs[ctx].cur
 	t, ok := e.start(now, src, dst, size)
 	if ok {
 		e.ctxs[ctx].cur = t
+		if !e.logging && old != nil && old != t && old.delivered {
+			e.freeT = append(e.freeT, old)
+		}
 	}
 	return t, ok
 }
@@ -163,6 +204,44 @@ func (e *Engine) finish(t *Transfer) {
 	t.delivered = true
 	e.stats.Completed++
 	e.stats.BytesMoved += t.Size
+}
+
+// remoteShip is one in-flight remote payload waiting for its End event:
+// the pooled replacement for a per-transfer closure. The fire closure is
+// built once per record and captures only the record, so scheduling the
+// ship rides the event queue's pooled no-handle path allocation-free.
+type remoteShip struct {
+	e    *Engine
+	t    *Transfer
+	data []byte
+	fire func(sim.Time)
+}
+
+func (e *Engine) getShip() *remoteShip {
+	if n := len(e.freeShip); n > 0 {
+		s := e.freeShip[n-1]
+		e.freeShip = e.freeShip[:n-1]
+		return s
+	}
+	s := &remoteShip{e: e}
+	s.fire = func(at sim.Time) { s.run(at) }
+	return s
+}
+
+// run hands the payload to the fabric. The fabric copies what it keeps
+// (RemoteHandler contract), so the payload buffer goes straight back to
+// the pool, as does the ship record itself.
+func (s *remoteShip) run(at sim.Time) {
+	e, t, data := s.e, s.t, s.data
+	s.t, s.data = nil, nil
+	e.freeShip = append(e.freeShip, s)
+	err := e.remote.Deliver(t.Node, t.RemoteAddr, data, at)
+	e.putBuf(data)
+	if err != nil {
+		t.Failed = true
+		return
+	}
+	e.finish(t)
 }
 
 // localWalker is the delivery state of one local transfer. A single
@@ -221,13 +300,16 @@ func (e *Engine) schedule(t *Transfer) {
 		data := e.snapshot(t)
 		if t.Remote {
 			if err := e.remote.Deliver(t.Node, t.RemoteAddr, data, t.End); err != nil {
+				e.putBuf(data)
 				t.Failed = true
 				return
 			}
 		} else if err := e.mem.WriteBytes(t.Dst, data); err != nil {
+			e.putBuf(data)
 			t.Failed = true
 			return
 		}
+		e.putBuf(data)
 		e.finish(t)
 		return
 	}
@@ -237,15 +319,12 @@ func (e *Engine) schedule(t *Transfer) {
 	}
 	if t.Remote {
 		// Snapshot the whole payload at acceptance and ship it when the
-		// engine finishes streaming it out.
-		data := e.snapshot(t)
-		e.events.ScheduleFunc(t.End, func(at sim.Time) {
-			if err := e.remote.Deliver(t.Node, t.RemoteAddr, data, at); err != nil {
-				t.Failed = true
-				return
-			}
-			e.finish(t)
-		})
+		// engine finishes streaming it out. The ship record (and its one
+		// fire closure) is pooled, so a steady stream of remote transfers
+		// allocates nothing here.
+		s := e.getShip()
+		s.t, s.data = t, e.snapshot(t)
+		e.events.ScheduleFunc(t.End, s.fire)
 		return
 	}
 	chunks := int((t.Size + transferChunk - 1) / transferChunk)

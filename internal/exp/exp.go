@@ -94,6 +94,9 @@ type Obs struct {
 	Points []userdma.BreakEvenPoint   // break-even cells
 	Attack *userdma.AttackOutcome     // adversarial cells
 	Rows   []Row                      // microbenchmark rows (oslat, clustersim)
+	Fault  []FaultPoint               // faultsweep cells
+	Recov  []RecoveryPoint            // recovery cells
+	Search []FaultSearchPoint         // faultsearch cells
 }
 
 // Row is one generic latency-table row produced by the OS and cluster
@@ -176,6 +179,33 @@ func (r *Result) Rows() []Row {
 	var out []Row
 	for _, c := range r.Cells {
 		out = append(out, c.Obs.Rows...)
+	}
+	return out
+}
+
+// FaultPoints flattens the fault-sweep observations in cell order.
+func (r *Result) FaultPoints() []FaultPoint {
+	var out []FaultPoint
+	for _, c := range r.Cells {
+		out = append(out, c.Obs.Fault...)
+	}
+	return out
+}
+
+// RecoveryPoints flattens the recovery observations in cell order.
+func (r *Result) RecoveryPoints() []RecoveryPoint {
+	var out []RecoveryPoint
+	for _, c := range r.Cells {
+		out = append(out, c.Obs.Recov...)
+	}
+	return out
+}
+
+// SearchPoints flattens the fault-search observations in cell order.
+func (r *Result) SearchPoints() []FaultSearchPoint {
+	var out []FaultSearchPoint
+	for _, c := range r.Cells {
+		out = append(out, c.Obs.Search...)
 	}
 	return out
 }

@@ -129,6 +129,82 @@ func OSLatRows(r *Result) []OSLatRow {
 	return out
 }
 
+// FaultRow is one faultsweep grid cell as the tools serialise it. The
+// Label is unique across the sweep, which is what keeps benchdiff's
+// flattened keys unambiguous.
+type FaultRow struct {
+	Label       string
+	Drop        float64
+	Size        uint64
+	Msgs        int
+	MeanPs      int64
+	P50Ps       int64
+	P99Ps       int64
+	GoodputMBps float64
+	Retransmits uint64
+	Timeouts    uint64
+	Recredits   uint64
+	Dropped     uint64
+	Delivered   uint64
+}
+
+// RecoveryRow is one outage cell of the recovery experiment.
+type RecoveryRow struct {
+	Label       string
+	OutagePs    int64
+	RecoverPs   int64
+	CompletePs  int64
+	Retransmits uint64
+	Timeouts    uint64
+}
+
+// FaultSearchRow is one seed's verdict of the faultsearch hunt.
+type FaultSearchRow struct {
+	Label     string
+	Seed      uint64
+	Schedules int
+	Violation string `json:",omitempty"`
+}
+
+// FaultRows converts a faultsweep result into wire rows.
+func FaultRows(r *Result) []FaultRow {
+	var out []FaultRow
+	for _, pt := range r.FaultPoints() {
+		out = append(out, FaultRow{
+			Label: pt.Label, Drop: pt.Drop, Size: pt.Size, Msgs: pt.Msgs,
+			MeanPs: int64(pt.Mean), P50Ps: int64(pt.P50), P99Ps: int64(pt.P99),
+			GoodputMBps: pt.GoodputMBps,
+			Retransmits: pt.Retransmits, Timeouts: pt.Timeouts, Recredits: pt.Recredits,
+			Dropped: pt.Dropped, Delivered: pt.Delivered,
+		})
+	}
+	return out
+}
+
+// RecoveryRows converts a recovery result into wire rows.
+func RecoveryRows(r *Result) []RecoveryRow {
+	var out []RecoveryRow
+	for _, pt := range r.RecoveryPoints() {
+		out = append(out, RecoveryRow{
+			Label: pt.Label, OutagePs: int64(pt.Outage),
+			RecoverPs: int64(pt.Recover), CompletePs: int64(pt.Complete),
+			Retransmits: pt.Retransmits, Timeouts: pt.Timeouts,
+		})
+	}
+	return out
+}
+
+// FaultSearchRows converts a faultsearch result into wire rows.
+func FaultSearchRows(r *Result) []FaultSearchRow {
+	var out []FaultSearchRow
+	for _, pt := range r.SearchPoints() {
+		out = append(out, FaultSearchRow{
+			Label: pt.Label, Seed: pt.Seed, Schedules: pt.Schedules, Violation: pt.Violation,
+		})
+	}
+	return out
+}
+
 // ClusterRows converts a clustersim result into wire rows.
 func ClusterRows(r *Result) []ClusterRow {
 	var out []ClusterRow

@@ -173,6 +173,40 @@ type Executor interface {
 	Swap(addr vm.VAddr, size phys.AccessSize, val uint64) (uint64, error)
 }
 
+// RunLast executes p on x like Run but returns only the LAST value a
+// load (or swap) produced, with ok reporting whether there was one. It
+// never allocates, which matters on the per-message DMA initiation
+// path: Run's result slice was one heap allocation per initiation.
+func RunLast(x Executor, p Program) (last uint64, ok bool, err error) {
+	for n, i := range p {
+		switch i.Op {
+		case OpLoad:
+			v, e := x.Load(i.Addr, i.Size)
+			if e != nil {
+				return last, ok, fmt.Errorf("isa: instruction %d (%s): %w", n+1, i, e)
+			}
+			last, ok = v, true
+		case OpStore:
+			if e := x.Store(i.Addr, i.Size, i.Val); e != nil {
+				return last, ok, fmt.Errorf("isa: instruction %d (%s): %w", n+1, i, e)
+			}
+		case OpMB:
+			if e := x.MB(); e != nil {
+				return last, ok, fmt.Errorf("isa: instruction %d (%s): %w", n+1, i, e)
+			}
+		case OpSwap:
+			v, e := x.Swap(i.Addr, i.Size, i.Val)
+			if e != nil {
+				return last, ok, fmt.Errorf("isa: instruction %d (%s): %w", n+1, i, e)
+			}
+			last, ok = v, true
+		default:
+			return last, ok, fmt.Errorf("isa: instruction %d: unknown opcode %v", n+1, i.Op)
+		}
+	}
+	return last, ok, nil
+}
+
 // Run executes p on x and returns the values produced by the program's
 // load instructions, in program order. Execution stops at the first
 // instruction error.

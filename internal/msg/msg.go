@@ -252,7 +252,41 @@ func (s *Sender) Send(c *proc.Context, data []byte) error {
 		s.stats.FlowStalls++
 		c.Spin(500)
 	}
+	return s.sendBody(c, data)
+}
 
+// SendBlocking is Send with the flow-control spin replaced by a kernel
+// sleep: when the ring is full, the sender traps SysWaitWrite on its
+// credit page and sleeps until the receiver's next credit write lands
+// (the NIC receive interrupt wakes it). Exactly one wakeup per credit
+// write, no event-queue busy-looping — the send side of the poll-vs-
+// interrupt trade (one trap per stall instead of a busy CPU).
+func (s *Sender) SendBlocking(c *proc.Context, data []byte) error {
+	if len(data) > s.cfg.SlotPayload {
+		return fmt.Errorf("msg: message of %d bytes exceeds slot payload %d", len(data), s.cfg.SlotPayload)
+	}
+	for {
+		credited, err := c.Load(s.va.credit, phys.Size64)
+		if err != nil {
+			return err
+		}
+		if s.sent-credited < uint64(s.cfg.Slots) {
+			break
+		}
+		s.stats.FlowStalls++
+		// Sleep until a credit word lands. A spurious wakeup (nothing
+		// freed) just loops back into the trap.
+		if _, err := c.Syscall(kernel.SysWaitWrite, uint64(s.va.credit)); err != nil {
+			return err
+		}
+	}
+	return s.sendBody(c, data)
+}
+
+// sendBody stages, DMAs and commits one message — the shared tail of
+// Send and SendBlocking. The instruction sequence is exactly the
+// pre-split Send tail, so timing-pinned experiments are unaffected.
+func (s *Sender) sendBody(c *proc.Context, data []byte) error {
 	// Stage the payload (word stores into the local staging page).
 	for off := 0; off < len(data); off += 8 {
 		var word uint64

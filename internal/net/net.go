@@ -42,12 +42,56 @@ func ATM155() LinkConfig {
 	return LinkConfig{Latency: 10 * sim.Microsecond, Bandwidth: 19_375_000}
 }
 
-// FabricStats counts fabric traffic.
+// FabricStats counts fabric traffic. The last four counters are only
+// ever advanced by an attached fault plane (SetFaultPlane); on a
+// fault-free fabric Delivered is the only one that moves.
 type FabricStats struct {
 	Messages  uint64
 	Bytes     uint64
 	Dropped   uint64 // deliveries refused (bad node or address)
 	RemoteMax int    // highest node id addressed
+
+	Delivered    uint64 // payloads that actually landed in a node's memory
+	FaultDropped uint64 // payloads the fault plane swallowed
+	Duplicated   uint64 // extra copies the fault plane injected
+	Reordered    uint64 // copies released from the per-destination FIFO
+}
+
+// Arrival describes one delivered copy of a faulted message: an extra
+// delay on top of the fault-free arrival time, and whether the copy is
+// released from the per-destination FIFO order (so it may overtake
+// earlier traffic into the same node).
+type Arrival struct {
+	Delay     sim.Time
+	Unordered bool
+}
+
+// Verdict is a fault plane's ruling on one message: how many copies
+// arrive (0 = dropped, 1 = normal, 2 = duplicated) and how each copy
+// travels. The fixed-size array keeps judging allocation-free on the
+// delivery hot path.
+type Verdict struct {
+	Copies [2]Arrival
+	N      int
+}
+
+// FaultPlane interposes on the fabric's delivery path. Judge is called
+// once per remote payload at send time with the source and destination
+// node ids and the simulated send instant; it must be deterministic
+// (any randomness seeded, never host state) because the fabric replays
+// byte-identically from a seed. Snapshot/RestoreState capture whatever
+// the plane needs (RNG position, per-link counters) so net.Cluster
+// snapshots can rewind the plane along with the nodes.
+//
+// Remote atomics (RMWRemote) are deliberately NOT judged: they model
+// Telegraphos' synchronous locked transactions, which either complete
+// or fail visibly at the issuing CPU — they are the reliable control
+// channel the recovery protocols in internal/msg and internal/coll
+// stand on.
+type FaultPlane interface {
+	Judge(src, dst int, at sim.Time) Verdict
+	SnapshotState() any
+	RestoreState(state any) error
 }
 
 // Cluster is a set of machines on a shared clock, connected by a
@@ -80,7 +124,7 @@ func NewCluster(n int, cfg machine.Config, link LinkConfig) (*Cluster, error) {
 			return nil, fmt.Errorf("net: node %d: %w", i, err)
 		}
 		m.NodeID = i
-		m.Engine.SetRemoteHandler(c.Fabric)
+		m.Engine.SetRemoteHandler(&nodePort{fabric: c.Fabric, src: i})
 		c.Nodes = append(c.Nodes, m)
 	}
 	return c, nil
@@ -168,10 +212,100 @@ type Fabric struct {
 	link     LinkConfig
 	lastInto map[int]sim.Time // per-destination FIFO point
 	stats    FabricStats
+	plane    FaultPlane
+	free     []*delivery // pooled in-flight payload records
 }
 
 // Stats returns a snapshot of the counters.
 func (f *Fabric) Stats() FabricStats { return f.stats }
+
+// SetFaultPlane attaches (or, with nil, detaches) a fault plane. With
+// no plane — or a plane whose Judge always returns the identity verdict
+// {N: 1, Copies[0]: {0, false}} — the fabric's behaviour is bit-for-bit
+// identical to a fabric without the hook: same arrival times, same
+// event-queue scheduling order. The fault path is pay-for-what-you-use.
+func (f *Fabric) SetFaultPlane(p FaultPlane) { f.plane = p }
+
+// FaultPlane returns the attached plane (nil when none) so cluster
+// snapshots can capture and rewind its state.
+func (f *Fabric) FaultPlane() FaultPlane { return f.plane }
+
+// nodePort is the per-node face of the fabric: each node's DMA engine
+// gets its own port so the fabric learns the SOURCE of every payload
+// (dma.RemoteHandler only names the destination). Per-link fault plans
+// and per-link scripts need it.
+type nodePort struct {
+	fabric *Fabric
+	src    int
+}
+
+func (p *nodePort) Deliver(node int, addr phys.Addr, data []byte, at sim.Time) error {
+	return p.fabric.deliver(p.src, node, addr, data, at)
+}
+
+func (p *nodePort) RMWRemote(node int, addr phys.Addr, op int, size phys.AccessSize, val uint64) (uint64, error) {
+	return p.fabric.RMWRemote(node, addr, op, size, val)
+}
+
+// delivery is one in-flight payload. Records are pooled on the fabric
+// and reused once the payload lands, so the steady-state delivery path
+// does not allocate: the fire closure is built once per record and
+// captures only the record itself.
+type delivery struct {
+	f    *Fabric
+	node int
+	addr phys.Addr
+	buf  []byte
+	fire func(sim.Time)
+}
+
+func (f *Fabric) getDelivery() *delivery {
+	if n := len(f.free); n > 0 {
+		d := f.free[n-1]
+		f.free = f.free[:n-1]
+		return d
+	}
+	d := &delivery{f: f}
+	d.fire = func(sim.Time) { d.f.land(d) }
+	return d
+}
+
+// land writes an arrived payload into the destination's memory and
+// returns the record to the pool. Memory size was checked at send time;
+// a failure here is a model bug.
+func (f *Fabric) land(d *delivery) {
+	dst := f.cluster.Nodes[d.node]
+	if err := dst.Mem.WriteBytes(d.addr, d.buf); err != nil {
+		panic(err)
+	}
+	f.stats.Delivered++
+	// Receive interrupt: wake any process sleeping on this range.
+	dst.Kernel.NotifyRemoteWrite(d.addr, len(d.buf))
+	d.buf = d.buf[:0]
+	f.free = append(f.free, d)
+}
+
+// enqueue schedules one copy for arrival at `arrive`. Ordered copies
+// respect the per-destination FIFO floor (and raise it); unordered
+// copies — a fault plane's reordered duplicates — skip the floor, so
+// they may overtake earlier traffic into the same node.
+func (f *Fabric) enqueue(node int, addr phys.Addr, data []byte, arrive sim.Time, ordered bool) {
+	if ordered {
+		if f.lastInto == nil {
+			f.lastInto = make(map[int]sim.Time)
+		}
+		if prev := f.lastInto[node]; arrive < prev {
+			arrive = prev // FIFO: no overtaking into the same node
+		}
+		f.lastInto[node] = arrive
+	}
+	d := f.getDelivery()
+	d.node, d.addr = node, addr
+	d.buf = append(d.buf[:0], data...)
+	// Fire-and-forget: arrival events are never cancelled, so use the
+	// queue's pooled no-handle path.
+	f.cluster.Events.ScheduleFunc(arrive, d.fire)
+}
 
 // RMWRemote implements dma.RemoteAtomicHandler: an atomic operation on
 // another node's memory. The issuing CPU stalls for the full round trip
@@ -197,7 +331,24 @@ func (f *Fabric) RMWRemote(node int, addr phys.Addr, op int, size phys.AccessSiz
 
 // Deliver implements dma.RemoteHandler: the payload arrives in the
 // destination node's memory after link latency plus serialization.
+//
+// Tie-break rule: when two messages compute the SAME arrival tick for
+// the same node (e.g. two zero-length remote writes issued back to
+// back, or a FIFO floor that lifts a later message onto an earlier
+// one's arrival time), they land in the order their arrival events were
+// scheduled — the shared event queue breaks equal-time ties by schedule
+// sequence, i.e. fabric issue order. Combined with the per-destination
+// FIFO floor this makes delivery order into any one node a pure
+// function of issue order, pinned by TestSameTickDeliveryOrder.
+//
+// Deliver is the source-anonymous entry point (src = -1, used by tests
+// that poke the fabric directly); engine traffic arrives through each
+// node's nodePort, which stamps the true source for per-link faults.
 func (f *Fabric) Deliver(node int, addr phys.Addr, data []byte, at sim.Time) error {
+	return f.deliver(-1, node, addr, data, at)
+}
+
+func (f *Fabric) deliver(src, node int, addr phys.Addr, data []byte, at sim.Time) error {
 	if node < 0 || node >= len(f.cluster.Nodes) {
 		f.stats.Dropped++
 		return fmt.Errorf("net: delivery to nonexistent node %d", node)
@@ -214,24 +365,25 @@ func (f *Fabric) Deliver(node int, addr phys.Addr, data []byte, at sim.Time) err
 	}
 	arrive := at + f.link.Latency +
 		sim.Time(uint64(len(data))*uint64(sim.Second)/f.link.Bandwidth)
-	if f.lastInto == nil {
-		f.lastInto = make(map[int]sim.Time)
+	if f.plane == nil {
+		f.enqueue(node, addr, data, arrive, true)
+		return nil
 	}
-	if prev := f.lastInto[node]; arrive < prev {
-		arrive = prev // FIFO: no overtaking into the same node
+	v := f.plane.Judge(src, node, at)
+	if v.N <= 0 {
+		f.stats.FaultDropped++
+		return nil
 	}
-	f.lastInto[node] = arrive
-	payload := append([]byte(nil), data...)
-	// Fire-and-forget: arrival events are never cancelled, so use the
-	// queue's pooled no-handle path.
-	f.cluster.Events.ScheduleFunc(arrive, func(sim.Time) {
-		// Memory size was checked at send time; a failure here is a
-		// model bug.
-		if err := dst.Mem.WriteBytes(addr, payload); err != nil {
-			panic(err)
+	if v.N > len(v.Copies) {
+		v.N = len(v.Copies)
+	}
+	f.stats.Duplicated += uint64(v.N - 1)
+	for i := 0; i < v.N; i++ {
+		a := v.Copies[i]
+		if a.Unordered {
+			f.stats.Reordered++
 		}
-		// Receive interrupt: wake any process sleeping on this range.
-		dst.Kernel.NotifyRemoteWrite(addr, len(payload))
-	})
+		f.enqueue(node, addr, data, arrive+a.Delay, !a.Unordered)
+	}
 	return nil
 }

@@ -19,6 +19,23 @@ type World struct {
 	// Check inspects the final state; returning an error marks the
 	// schedule as a counterexample.
 	Check func() error
+	// Finish, if non-nil, schedules the world once the explicit
+	// decisions are exhausted. The default is round-robin with an
+	// effectively infinite quantum — first-spawned-runs-to-block —
+	// which suits short straight-line guests. Worlds whose processes
+	// POLL each other (spin loops that never block) must supply a
+	// small-quantum policy here, or the first spinner starves the rest.
+	// Each factory call builds a fresh world, so the policy instance is
+	// private to one schedule.
+	Finish Policy
+}
+
+// finish returns the world's finishing policy.
+func (w *World) finish() Policy {
+	if w.Finish != nil {
+		return w.Finish
+	}
+	return NewRoundRobin(1 << 20)
 }
 
 // WorldFactory builds a fresh, identical world. It must create the same
@@ -66,7 +83,7 @@ func Explore(factory WorldFactory, maxDepth int, maxSchedules int) (ExploreResul
 		}
 		if len(alive) == 0 || len(prefix) >= maxDepth {
 			// Finish deterministically and check.
-			if err := w.Runner.Run(NewRoundRobin(1<<20), 1<<62); err != nil {
+			if err := w.Runner.Run(w.finish(), 1<<62); err != nil {
 				return false, err
 			}
 			res.Schedules++

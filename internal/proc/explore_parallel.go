@@ -199,7 +199,7 @@ func exploreSubtree(factory WorldFactory, root []int, maxDepth, cap int, abort f
 			return false, err
 		}
 		if len(alive) == 0 || len(prefix) >= maxDepth {
-			if err := w.Runner.Run(NewRoundRobin(1<<20), 1<<62); err != nil {
+			if err := w.Runner.Run(w.finish(), 1<<62); err != nil {
 				return false, err
 			}
 			r.schedules++

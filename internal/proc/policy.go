@@ -4,6 +4,8 @@ import "uldma/internal/sim"
 
 // Policy picks the process to receive the next instruction slot.
 // runnable is never empty; current may be nil (first slot) or Done.
+// The runnable slice is the scheduler's reusable scratch buffer:
+// implementations must not retain it across calls.
 type Policy interface {
 	Next(runnable []*Process, current *Process) *Process
 }

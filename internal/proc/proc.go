@@ -159,6 +159,7 @@ type Runner struct {
 	current *Process
 	reports chan report
 	stats   Stats
+	scratch []*Process // reused by runnable(); policies must not retain it
 }
 
 // RunnerConfig sets scheduling costs.
@@ -401,14 +402,19 @@ func (r *Runner) dispatch(p *Process) {
 	}
 }
 
+// runnable returns the currently dispatchable processes. The returned
+// slice is the runner's reusable scratch buffer — valid only until the
+// next runnable() call (this is the scheduler's per-slot hot path; a
+// fresh slice per slot dominated the cluster loop's allocations).
 func (r *Runner) runnable() []*Process {
 	now := r.cpu.Clock().Now()
-	var out []*Process
+	out := r.scratch[:0]
 	for _, p := range r.procs {
 		if p.state != Done && p.blockedUntil <= now {
 			out = append(out, p)
 		}
 	}
+	r.scratch = out
 	return out
 }
 
