@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench ci baseline baseline-fault golden benchdiff profile
+.PHONY: all build vet test race bench ci baseline baseline-fault golden trace-golden statslint benchdiff profile
 
 all: ci
 
@@ -28,15 +28,27 @@ race:
 golden:
 	$(GO) test -run TestGolden -update .
 
+# Regenerate the pinned Perfetto trace_event documents (-trace-out /
+# faultsim -replay). The traced scenarios are serial and simulated-
+# deterministic, so these are byte-level goldens like the text ones.
+trace-golden:
+	$(GO) test -run TestTraceGolden -update .
+
+# The observability plane's structural lint: new metric storage must be
+# obs cells (internal/obs), never a fresh ad-hoc *Stats struct. The
+# script allowlists the pre-obs compat structs.
+statslint:
+	sh scripts/statslint.sh
+
 bench:
 	$(GO) test -bench . -benchmem -run XXX ./internal/sim ./internal/vm ./internal/bus ./internal/machine ./...
 
-ci: build vet race benchdiff
+ci: build vet statslint race benchdiff
 
 # Regenerate the perf-trajectory snapshot (raw simulated picoseconds;
 # byte-identical for any -procs value).
 baseline:
-	$(GO) run ./cmd/dmabench -json -sweep -breakeven -trend -comparators > BENCH_baseline.json
+	$(GO) run ./cmd/dmabench -json -sweep -breakeven -trend -comparators -metrics > BENCH_baseline.json
 
 # Regenerate the fault-injection snapshot (faultsweep goodput/latency
 # grid, link-down recovery, model-checked delivery search) in raw

@@ -75,6 +75,10 @@ func main() {
 		}
 		fmt.Println()
 	}
+	if err := exp.FlushTrace(); err != nil {
+		fmt.Fprintln(os.Stderr, "attacksim:", err)
+		exp.Exit(1)
+	}
 }
 
 // custom runs researcher-scripted sequences in the standard scenario.

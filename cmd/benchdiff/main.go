@@ -32,6 +32,7 @@ import (
 	"sort"
 
 	"uldma/internal/exp"
+	"uldma/internal/obs"
 )
 
 func main() {
@@ -42,6 +43,10 @@ func main() {
 	flag.Parse()
 
 	if err := run(flag.Args(), *iters, *procs, *tol, *fatal); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if err := exp.FlushTrace(); err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
@@ -148,6 +153,7 @@ func regenerate(iters, procs int) (map[string]any, error) {
 		BusSweep    map[string][]exp.InitiationRow
 		BreakEven   map[string][]exp.BreakEvenRow
 		Trend       []exp.TrendRow
+		Metrics     map[string][]obs.MetricValue
 	}{Machine: exp.MachineName(), Iters: iters}
 
 	t1, err := exp.Table1(iters, procs)
@@ -175,6 +181,9 @@ func regenerate(iters, procs int) (map[string]any, error) {
 		return nil, err
 	}
 	doc.Trend = exp.TrendRows(pts)
+	if doc.Metrics, err = exp.MetricsSnapshot(iters); err != nil {
+		return nil, err
+	}
 
 	raw, err := json.Marshal(doc)
 	if err != nil {
@@ -189,7 +198,8 @@ func regenerate(iters, procs int) (map[string]any, error) {
 
 // flatten walks a decoded JSON document and records every numeric leaf
 // under a dotted path. Array elements that carry an identifying field
-// (Method, Label, Size, Gen) are keyed by its value instead of their
+// (Method, Label, Size, Gen, Name — the last keys the observability
+// registry's metric rows) are keyed by its value instead of their
 // index, so reordering or insertion reads as what it is.
 func flatten(prefix string, v any, out map[string]float64) {
 	switch t := v.(type) {
@@ -205,7 +215,7 @@ func flatten(prefix string, v any, out map[string]float64) {
 		for i, child := range t {
 			key := fmt.Sprintf("[%d]", i)
 			if m, ok := child.(map[string]any); ok {
-				for _, id := range []string{"Method", "Label", "Size", "Gen"} {
+				for _, id := range []string{"Method", "Label", "Size", "Gen", "Name"} {
 					switch idv := m[id].(type) {
 					case string:
 						key = "[" + idv + "]"

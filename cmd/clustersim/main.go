@@ -44,6 +44,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "clustersim:", err)
 		exp.Exit(1)
 	}
+	if err := exp.FlushTrace(); err != nil {
+		fmt.Fprintln(os.Stderr, "clustersim:", err)
+		exp.Exit(1)
+	}
 }
 
 // clusterJSON is the -json document.

@@ -24,6 +24,7 @@ import (
 
 	userdma "uldma/internal/core"
 	"uldma/internal/exp"
+	"uldma/internal/obs"
 	"uldma/internal/proc"
 	"uldma/internal/stats"
 	"uldma/internal/trace"
@@ -38,6 +39,7 @@ func main() {
 	breakeven := flag.Bool("breakeven", false, "also run the initiation-vs-transfer break-even sweep (X6)")
 	traceFlag := flag.Bool("trace", false, "show the bus transactions of one initiation per method")
 	trend := flag.Bool("trend", false, "also run the hardware-generation trend sweep (X7)")
+	metrics := flag.Bool("metrics", false, "with -json: append the per-method observability registry snapshot (exact event counts)")
 	procs := flag.Int("procs", 0, "worker goroutines for independent measurement cells (0 = GOMAXPROCS)")
 	jsonOut := flag.Bool("json", false, "emit results as one JSON document (raw simulated picoseconds)")
 	list := flag.Bool("list", false, "list the registered experiments and exit")
@@ -55,7 +57,11 @@ func main() {
 	}
 
 	if *jsonOut {
-		if err := runJSON(*iters, *procs, *sweep, *comparators, *breakeven, *trend, *contention); err != nil {
+		if err := runJSON(*iters, *procs, *sweep, *comparators, *breakeven, *trend, *contention, *metrics); err != nil {
+			fmt.Fprintln(os.Stderr, "dmabench:", err)
+			exp.Exit(1)
+		}
+		if err := exp.FlushTrace(); err != nil {
 			fmt.Fprintln(os.Stderr, "dmabench:", err)
 			exp.Exit(1)
 		}
@@ -76,6 +82,10 @@ func main() {
 		}
 	}
 	if err := run(*iters, *procs, *sweep, *contention, *comparators, *breakeven); err != nil {
+		fmt.Fprintln(os.Stderr, "dmabench:", err)
+		exp.Exit(1)
+	}
+	if err := exp.FlushTrace(); err != nil {
 		fmt.Fprintln(os.Stderr, "dmabench:", err)
 		exp.Exit(1)
 	}
@@ -103,10 +113,14 @@ type benchJSON struct {
 	BreakEven   map[string][]exp.BreakEvenRow  `json:",omitempty"`
 	Trend       []exp.TrendRow                 `json:",omitempty"`
 	Contention  []exp.InitiationRow            `json:",omitempty"`
+	// Metrics (-metrics) is the per-method observability registry
+	// snapshot after a fixed initiation burst: exact event counts, so
+	// benchdiff flags any behavioural change even when timings agree.
+	Metrics map[string][]obs.MetricValue `json:",omitempty"`
 }
 
 // runJSON gathers every requested section and emits one JSON document.
-func runJSON(iters, procs int, sweep, comparators, breakeven, trend, contention bool) error {
+func runJSON(iters, procs int, sweep, comparators, breakeven, trend, contention, metrics bool) error {
 	doc := benchJSON{Machine: exp.MachineName(), Iters: iters}
 
 	t1, err := exp.Table1(iters, procs)
@@ -148,6 +162,13 @@ func runJSON(iters, procs int, sweep, comparators, breakeven, trend, contention 
 			return err
 		}
 		doc.Contention = exp.InitRows(rs)
+	}
+	if metrics {
+		mv, err := exp.MetricsSnapshot(iters)
+		if err != nil {
+			return err
+		}
+		doc.Metrics = mv
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

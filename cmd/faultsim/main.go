@@ -17,6 +17,12 @@
 // Every cell owns its seeded world, so output is byte-identical for
 // any -procs value. -json emits one document in raw simulated
 // picoseconds for regression diffing (cmd/benchdiff).
+//
+// -replay SEED rebuilds the faultsearch world for one seed with
+// cluster-wide tracing enabled, runs it straight-line under the
+// search's finish policy, and writes a Perfetto trace_event document
+// to -trace-out (stdout when unset) — the visual companion to a
+// faultsearch verdict or violation line.
 package main
 
 import (
@@ -32,6 +38,7 @@ func main() {
 	msgs := flag.Int("msgs", 24, "messages per faultsweep cell")
 	seeds := flag.Int("seeds", 4, "faultsearch: seeded fault plans to model-check")
 	depth := flag.Int("depth", 4, "faultsearch: explicit scheduling decisions per schedule")
+	replay := flag.Uint64("replay", 0, "rebuild the faultsearch world for this seed and write its cluster-wide Perfetto trace to -trace-out (stdout when unset)")
 	procs := flag.Int("procs", 0, "worker goroutines for independent worlds (0 = GOMAXPROCS)")
 	jsonOut := flag.Bool("json", false, "emit results as one JSON document (raw simulated picoseconds)")
 	list := flag.Bool("list", false, "list the registered experiments and exit")
@@ -46,7 +53,20 @@ func main() {
 		fmt.Print(exp.List())
 		return
 	}
+	if *replay != 0 {
+		verdict, err := exp.FaultReplay(*replay, 3)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "faultsim:", err)
+			exp.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "faultsim: seed %d replayed: %s\n", *replay, verdict)
+		return
+	}
 	if err := run(*msgs, *seeds, *depth, *procs, *jsonOut); err != nil {
+		fmt.Fprintln(os.Stderr, "faultsim:", err)
+		exp.Exit(1)
+	}
+	if err := exp.FlushTrace(); err != nil {
 		fmt.Fprintln(os.Stderr, "faultsim:", err)
 		exp.Exit(1)
 	}

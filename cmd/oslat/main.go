@@ -39,6 +39,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "oslat:", err)
 		exp.Exit(1)
 	}
+	if err := exp.FlushTrace(); err != nil {
+		fmt.Fprintln(os.Stderr, "oslat:", err)
+		exp.Exit(1)
+	}
 }
 
 // oslatJSON is the -json document.

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 
+	"uldma/internal/obs"
 	"uldma/internal/phys"
 	"uldma/internal/sim"
 )
@@ -68,7 +69,9 @@ type CostConfig struct {
 	RMWExtraCycles int64
 }
 
-// Stats counts bus traffic for utilization reports.
+// Stats counts bus traffic for utilization reports. It is a read-only
+// view assembled from the obs counter cells on demand (the thin
+// compatibility accessor over the unified metrics plane).
 type Stats struct {
 	Loads        uint64
 	Stores       uint64
@@ -76,6 +79,18 @@ type Stats struct {
 	BusyCycles   int64 // total bus cycles consumed by transactions
 	StolenCycles int64 // extra cycles paid to DMA contention
 	Errors       uint64
+}
+
+// counters is the live metric storage: typed obs cells, registered
+// with the machine's registry at construction and captured by value in
+// snapshots so bus counters rewind with the world.
+type counters struct {
+	loads        obs.Counter
+	stores       obs.Counter
+	rmws         obs.Counter
+	busyCycles   obs.Gauge
+	stolenCycles obs.Gauge
+	errors       obs.Counter
 }
 
 // Error describes a failed bus transaction.
@@ -104,8 +119,13 @@ type Bus struct {
 	freq     sim.Hz
 	cost     CostConfig
 	mappings []mapping // sorted by base
-	stats    Stats
+	ctr      counters
 	trace    func(op string, addr phys.Addr, size phys.AccessSize, val uint64)
+
+	// tr is the obs trace spine (nil = tracing disabled, the zero-cost
+	// fast path); node is the cluster node id stamped on events.
+	tr   *obs.Trace
+	node int32
 
 	// DMA cycle stealing: while a bus-mastering transfer is active
 	// (reserved by the engine), CPU transactions get every other cycle,
@@ -130,10 +150,39 @@ func (b *Bus) Freq() sim.Hz { return b.freq }
 func (b *Bus) Cost() CostConfig { return b.cost }
 
 // Stats returns a snapshot of the traffic counters.
-func (b *Bus) Stats() Stats { return b.stats }
+func (b *Bus) Stats() Stats {
+	return Stats{
+		Loads:        b.ctr.loads.Value(),
+		Stores:       b.ctr.stores.Value(),
+		RMWs:         b.ctr.rmws.Value(),
+		BusyCycles:   b.ctr.busyCycles.Value(),
+		StolenCycles: b.ctr.stolenCycles.Value(),
+		Errors:       b.ctr.errors.Value(),
+	}
+}
 
 // ResetStats zeroes the traffic counters.
-func (b *Bus) ResetStats() { b.stats = Stats{} }
+func (b *Bus) ResetStats() { b.ctr = counters{} }
+
+// RegisterMetrics publishes the bus's counters in a registry.
+func (b *Bus) RegisterMetrics(r *obs.Registry) {
+	r.RegisterCounter("bus.loads", &b.ctr.loads)
+	r.RegisterCounter("bus.stores", &b.ctr.stores)
+	r.RegisterCounter("bus.rmws", &b.ctr.rmws)
+	r.RegisterGauge("bus.busy_cycles", &b.ctr.busyCycles)
+	r.RegisterGauge("bus.stolen_cycles", &b.ctr.stolenCycles)
+	r.RegisterCounter("bus.errors", &b.ctr.errors)
+}
+
+// SetTracer attaches (or, with nil, detaches) the obs trace spine.
+// Every successful transaction is emitted as a CatBus instant, and
+// every DMA bus-mastering window as a CatDMA span, stamped with node.
+// Independent of the legacy SetTrace hook, which tests and the
+// internal/trace adapter keep using.
+func (b *Bus) SetTracer(t *obs.Trace, node int32) {
+	b.tr = t
+	b.node = node
+}
 
 // SetTrace installs a hook called for every transaction (nil to disable).
 // Used by the trace tooling and by protocol-level tests that assert on
@@ -191,6 +240,9 @@ func (b *Bus) ReserveDMA(start, end sim.Time) {
 	if end <= start {
 		return
 	}
+	if b.tr != nil {
+		b.tr.Span(start, end-start, obs.CatDMA, "bus-master", b.node, -1, uint64(start), uint64(end), 0)
+	}
 	b.dmaWindows = append(b.dmaWindows, stealWindow{start: start, end: end})
 }
 
@@ -214,10 +266,10 @@ func (b *Bus) contended(now sim.Time) bool {
 
 func (b *Bus) charge(cycles int64) {
 	if b.contended(b.clock.Now()) {
-		b.stats.StolenCycles += cycles
+		b.ctr.stolenCycles.Add(cycles)
 		cycles *= 2
 	}
-	b.stats.BusyCycles += cycles
+	b.ctr.busyCycles.Add(cycles)
 	b.clock.Advance(b.freq.Cycles(cycles))
 }
 
@@ -227,10 +279,10 @@ func (b *Bus) charge(cycles int64) {
 func (b *Bus) Load(addr phys.Addr, size phys.AccessSize) (uint64, error) {
 	dev, ok := b.DeviceAt(addr)
 	if !ok {
-		b.stats.Errors++
+		b.ctr.errors.Inc()
 		return 0, &Error{Op: "load", Addr: addr, Why: "no device decodes this address"}
 	}
-	b.stats.Loads++
+	b.ctr.loads.Inc()
 	b.charge(b.cost.LoadRequestCycles)
 	val, extra, err := dev.Load(b.clock.Now(), addr, size)
 	if extra > 0 {
@@ -238,11 +290,14 @@ func (b *Bus) Load(addr phys.Addr, size phys.AccessSize) (uint64, error) {
 	}
 	b.charge(b.cost.LoadReplyCycles)
 	if err != nil {
-		b.stats.Errors++
+		b.ctr.errors.Inc()
 		return 0, err
 	}
 	if b.trace != nil {
 		b.trace("load", addr, size, val)
+	}
+	if b.tr != nil {
+		b.tr.Instant(b.clock.Now(), obs.CatBus, "load", b.node, -1, uint64(addr), uint64(size), val)
 	}
 	return val, nil
 }
@@ -253,21 +308,24 @@ func (b *Bus) Load(addr phys.Addr, size phys.AccessSize) (uint64, error) {
 func (b *Bus) Store(addr phys.Addr, size phys.AccessSize, val uint64) error {
 	dev, ok := b.DeviceAt(addr)
 	if !ok {
-		b.stats.Errors++
+		b.ctr.errors.Inc()
 		return &Error{Op: "store", Addr: addr, Why: "no device decodes this address"}
 	}
-	b.stats.Stores++
+	b.ctr.stores.Inc()
 	b.charge(b.cost.StoreCycles)
 	extra, err := dev.Store(b.clock.Now(), addr, size, val)
 	if extra > 0 {
 		b.charge(extra)
 	}
 	if err != nil {
-		b.stats.Errors++
+		b.ctr.errors.Inc()
 		return err
 	}
 	if b.trace != nil {
 		b.trace("store", addr, size, val)
+	}
+	if b.tr != nil {
+		b.tr.Instant(b.clock.Now(), obs.CatBus, "store", b.node, -1, uint64(addr), uint64(size), val)
 	}
 	return nil
 }
@@ -278,16 +336,16 @@ func (b *Bus) Store(addr phys.Addr, size phys.AccessSize, val uint64) error {
 func (b *Bus) RMW(addr phys.Addr, size phys.AccessSize, val uint64) (uint64, error) {
 	dev, ok := b.DeviceAt(addr)
 	if !ok {
-		b.stats.Errors++
+		b.ctr.errors.Inc()
 		return 0, &Error{Op: "rmw", Addr: addr, Why: "no device decodes this address"}
 	}
 	rdev, ok := dev.(RMWDevice)
 	if !ok {
-		b.stats.Errors++
+		b.ctr.errors.Inc()
 		return 0, &Error{Op: "rmw", Addr: addr,
 			Why: fmt.Sprintf("device %q does not support atomic transactions", dev.Name())}
 	}
-	b.stats.RMWs++
+	b.ctr.rmws.Inc()
 	b.charge(b.cost.LoadRequestCycles)
 	old, extra, err := rdev.RMW(b.clock.Now(), addr, size, val)
 	if extra > 0 {
@@ -295,11 +353,14 @@ func (b *Bus) RMW(addr phys.Addr, size phys.AccessSize, val uint64) (uint64, err
 	}
 	b.charge(b.cost.LoadReplyCycles + b.cost.RMWExtraCycles)
 	if err != nil {
-		b.stats.Errors++
+		b.ctr.errors.Inc()
 		return 0, err
 	}
 	if b.trace != nil {
 		b.trace("rmw", addr, size, val)
+	}
+	if b.tr != nil {
+		b.tr.Instant(b.clock.Now(), obs.CatBus, "rmw", b.node, -1, uint64(addr), uint64(size), val)
 	}
 	return old, nil
 }

@@ -11,7 +11,7 @@ import "fmt"
 
 // BusSnapshot captures a Bus's mutable state. See Bus.Snapshot.
 type BusSnapshot struct {
-	stats      Stats
+	ctr        counters
 	dmaWindows []stealWindow
 }
 
@@ -19,14 +19,14 @@ type BusSnapshot struct {
 func (b *Bus) Snapshot() *BusSnapshot {
 	wins := make([]stealWindow, len(b.dmaWindows))
 	copy(wins, b.dmaWindows)
-	return &BusSnapshot{stats: b.stats, dmaWindows: wins}
+	return &BusSnapshot{ctr: b.ctr, dmaWindows: wins}
 }
 
 // Restore rewinds the counters and DMA windows to the snapshot. Window
 // times are absolute simulated instants, so this must be paired with a
 // clock restore taken at the same moment.
 func (b *Bus) Restore(s *BusSnapshot) {
-	b.stats = s.stats
+	b.ctr = s.ctr
 	b.dmaWindows = b.dmaWindows[:0]
 	b.dmaWindows = append(b.dmaWindows, s.dmaWindows...)
 }

@@ -25,6 +25,7 @@ package dma
 import (
 	"fmt"
 
+	"uldma/internal/obs"
 	"uldma/internal/phys"
 	"uldma/internal/sim"
 )
@@ -289,7 +290,9 @@ func (c Config) validate() error {
 	return nil
 }
 
-// Stats counts engine activity.
+// Stats counts engine activity. It is a read-only view assembled from
+// the obs counter cells on demand (the thin compatibility accessor
+// over the unified metrics plane).
 type Stats struct {
 	ShadowStores   uint64
 	ShadowLoads    uint64
@@ -369,7 +372,7 @@ type Engine struct {
 
 	remote   RemoteHandler
 	reserver BusReserver
-	stats    Stats
+	ctr      counters
 
 	// Allocation control for the per-message hot path. logging keeps the
 	// full transfer log (default); with it off, retired Transfer records
@@ -422,11 +425,57 @@ func (e *Engine) Name() string { return "telegraphos-nic" }
 // Config returns the engine configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
+// counters is the live metric storage: typed obs cells, registered
+// with the machine's registry at construction and captured by value in
+// snapshots so the engine's FSM/transfer tallies rewind with the world.
+type counters struct {
+	shadowStores   obs.Counter
+	shadowLoads    obs.Counter
+	keyMismatches  obs.Counter
+	seqResets      obs.Counter
+	started        obs.Counter
+	rejected       obs.Counter
+	completed      obs.Counter
+	bytesMoved     obs.Counter
+	atomicOps      obs.Counter
+	remoteStarted  obs.Counter
+	abortedPending obs.Counter
+}
+
 // Stats returns a snapshot of the counters.
-func (e *Engine) Stats() Stats { return e.stats }
+func (e *Engine) Stats() Stats {
+	return Stats{
+		ShadowStores:   e.ctr.shadowStores.Value(),
+		ShadowLoads:    e.ctr.shadowLoads.Value(),
+		KeyMismatches:  e.ctr.keyMismatches.Value(),
+		SeqResets:      e.ctr.seqResets.Value(),
+		Started:        e.ctr.started.Value(),
+		Rejected:       e.ctr.rejected.Value(),
+		Completed:      e.ctr.completed.Value(),
+		BytesMoved:     e.ctr.bytesMoved.Value(),
+		AtomicOps:      e.ctr.atomicOps.Value(),
+		RemoteStarted:  e.ctr.remoteStarted.Value(),
+		AbortedPending: e.ctr.abortedPending.Value(),
+	}
+}
 
 // ResetStats zeroes the counters.
-func (e *Engine) ResetStats() { e.stats = Stats{} }
+func (e *Engine) ResetStats() { e.ctr = counters{} }
+
+// RegisterMetrics publishes the engine's counters in a registry.
+func (e *Engine) RegisterMetrics(r *obs.Registry) {
+	r.RegisterCounter("dma.shadow_stores", &e.ctr.shadowStores)
+	r.RegisterCounter("dma.shadow_loads", &e.ctr.shadowLoads)
+	r.RegisterCounter("dma.key_mismatches", &e.ctr.keyMismatches)
+	r.RegisterCounter("dma.seq_resets", &e.ctr.seqResets)
+	r.RegisterCounter("dma.started", &e.ctr.started)
+	r.RegisterCounter("dma.rejected", &e.ctr.rejected)
+	r.RegisterCounter("dma.completed", &e.ctr.completed)
+	r.RegisterCounter("dma.bytes_moved", &e.ctr.bytesMoved)
+	r.RegisterCounter("dma.atomic_ops", &e.ctr.atomicOps)
+	r.RegisterCounter("dma.remote_started", &e.ctr.remoteStarted)
+	r.RegisterCounter("dma.aborted_pending", &e.ctr.abortedPending)
+}
 
 // NumContexts returns the number of register contexts.
 func (e *Engine) NumContexts() int { return len(e.ctxs) }
@@ -484,11 +533,11 @@ func (e *Engine) SetBusReserver(r BusReserver) { e.reserver = r }
 func (e *Engine) AbortPending() {
 	if e.pending.valid {
 		e.pending.valid = false
-		e.stats.AbortedPending++
+		e.ctr.abortedPending.Inc()
 	}
 	if e.seq.idx != 0 {
 		e.seq.reset()
-		e.stats.SeqResets++
+		e.ctr.seqResets.Inc()
 	}
 }
 
@@ -497,7 +546,7 @@ func (e *Engine) AbortPending() {
 func (e *Engine) SetCurrentPID(pid int) {
 	if e.pidTrk && e.pending.valid && e.pending.pid != pid {
 		e.pending.valid = false
-		e.stats.AbortedPending++
+		e.ctr.abortedPending.Inc()
 	}
 	e.curPID = pid
 }
@@ -526,16 +575,16 @@ func (e *Engine) ContextTransfer(ctx int) *Transfer {
 // tests call it after a run (with events settled). It returns the first
 // violation found.
 func (e *Engine) CheckInvariants(now sim.Time) error {
-	if e.stats.Completed > e.stats.Started {
-		return fmt.Errorf("dma: completed %d > started %d", e.stats.Completed, e.stats.Started)
+	if e.ctr.completed.Value() > e.ctr.started.Value() {
+		return fmt.Errorf("dma: completed %d > started %d", e.ctr.completed.Value(), e.ctr.started.Value())
 	}
 	if !e.logging {
 		// Without the transfer log the per-transfer checks below have
 		// nothing to walk; the counter invariant above still holds.
 		return nil
 	}
-	if uint64(len(e.log)) != e.stats.Started {
-		return fmt.Errorf("dma: %d logged transfers vs %d started", len(e.log), e.stats.Started)
+	if uint64(len(e.log)) != e.ctr.started.Value() {
+		return fmt.Errorf("dma: %d logged transfers vs %d started", len(e.log), e.ctr.started.Value())
 	}
 	var prevStart sim.Time
 	var bytes uint64
@@ -560,8 +609,8 @@ func (e *Engine) CheckInvariants(now sim.Time) error {
 			bytes += t.Size
 		}
 	}
-	if e.stats.BytesMoved != bytes {
-		return fmt.Errorf("dma: BytesMoved %d vs %d summed from completed transfers", e.stats.BytesMoved, bytes)
+	if e.ctr.bytesMoved.Value() != bytes {
+		return fmt.Errorf("dma: BytesMoved %d vs %d summed from completed transfers", e.ctr.bytesMoved.Value(), bytes)
 	}
 	return nil
 }
@@ -607,7 +656,7 @@ func (e *Engine) classify(addr phys.Addr) (window, uint64) {
 func (e *Engine) Load(now sim.Time, addr phys.Addr, size phys.AccessSize) (uint64, int64, error) {
 	switch win, off := e.classify(addr); win {
 	case winShadow:
-		e.stats.ShadowLoads++
+		e.ctr.shadowLoads.Inc()
 		return e.shadowLoad(now, off)
 	case winCtx:
 		return e.ctxLoad(now, off)
@@ -632,7 +681,7 @@ func (e *Engine) Load(now sim.Time, addr phys.Addr, size phys.AccessSize) (uint6
 func (e *Engine) Store(now sim.Time, addr phys.Addr, size phys.AccessSize, val uint64) (int64, error) {
 	switch win, off := e.classify(addr); win {
 	case winShadow:
-		e.stats.ShadowStores++
+		e.ctr.shadowStores.Inc()
 		return e.shadowStore(now, off, val)
 	case winCtx:
 		return e.ctxStore(now, off, val)
@@ -655,7 +704,7 @@ func (e *Engine) Store(now sim.Time, addr phys.Addr, size phys.AccessSize, val u
 		for i := range buf {
 			buf[i] = byte(val >> (8 * i))
 		}
-		e.stats.RemoteStarted++
+		e.ctr.remoteStarted.Inc()
 		return 0, e.remote.Deliver(node, raddr, buf, now)
 	default:
 		return 0, fmt.Errorf("dma: store at %v outside engine windows", addr)

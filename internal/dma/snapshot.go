@@ -28,7 +28,7 @@ type EngineSnapshot struct {
 	last    *Transfer
 	log     []*Transfer
 	busy    sim.Time
-	stats   Stats
+	ctr     counters
 }
 
 // Snapshot captures the engine's register contexts, key table,
@@ -56,7 +56,7 @@ func (e *Engine) Snapshot() (*EngineSnapshot, error) {
 		last:    e.last,
 		log:     append([]*Transfer(nil), e.log...),
 		busy:    e.xfer.busyUntil,
-		stats:   e.stats,
+		ctr:     e.ctr,
 	}
 	if len(e.pageMap) > 0 {
 		s.pageMap = make(map[phys.Addr]phys.Addr, len(e.pageMap))
@@ -91,7 +91,7 @@ func (e *Engine) Restore(s *EngineSnapshot) error {
 	e.log = e.log[:0]
 	e.log = append(e.log, s.log...)
 	e.xfer.busyUntil = s.busy
-	e.stats = s.stats
+	e.ctr = s.ctr
 	return nil
 }
 

@@ -92,7 +92,7 @@ func (e *Engine) validateTransfer(src, dst phys.Addr, size uint64) bool {
 // event is scheduled, and the transfer becomes the engine's "last".
 func (e *Engine) start(now sim.Time, src, dst phys.Addr, size uint64) (*Transfer, bool) {
 	if !e.validateTransfer(src, dst, size) {
-		e.stats.Rejected++
+		e.ctr.rejected.Inc()
 		e.last = &Transfer{Src: src, Dst: dst, Size: size, Failed: true, Start: now, End: now}
 		return e.last, false
 	}
@@ -115,10 +115,10 @@ func (e *Engine) start(now sim.Time, src, dst phys.Addr, size uint64) (*Transfer
 		off := uint64(dst - e.cfg.RemoteBase)
 		t.Node = int(off >> e.cfg.NodeShift)
 		t.RemoteAddr = phys.Addr(off & (1<<e.cfg.NodeShift - 1))
-		e.stats.RemoteStarted++
+		e.ctr.remoteStarted.Inc()
 	}
 	e.xfer.busyUntil = t.End
-	e.stats.Started++
+	e.ctr.started.Inc()
 	e.last = t
 	if e.logging {
 		e.log = append(e.log, t)
@@ -202,8 +202,8 @@ const transferChunk = 4096
 // finish records a transfer's completion.
 func (e *Engine) finish(t *Transfer) {
 	t.delivered = true
-	e.stats.Completed++
-	e.stats.BytesMoved += t.Size
+	e.ctr.completed.Inc()
+	e.ctr.bytesMoved.Add(t.Size)
 }
 
 // remoteShip is one in-flight remote payload waiting for its End event:

@@ -315,81 +315,91 @@ func recoveryCells(p Params) ([]Cell, error) {
 	return cells, nil
 }
 
-// faultSearchFactory builds one disposable loopback world for the
+// faultSearchWorld builds one disposable loopback world for the
 // bounded search: sender and receiver share ONE node (so a single
 // proc.Runner owns every scheduling decision) and the channel runs over
 // the node's own fabric port — kernel.MapRemote accepts node == self.
+// The cluster is returned alongside the world so callers with their own
+// driving loop (FaultReplay's traced straight-line run) can enable
+// tracing and run it directly.
+func faultSearchWorld(seed uint64, total int) (*net.Cluster, *proc.World, error) {
+	method := userdma.ExtShadow{}
+	cluster, err := net.NewCluster(1, userdma.ConfigFor(method), net.Gigabit())
+	if err != nil {
+		return nil, nil, err
+	}
+	cluster.Fabric.SetFaultPlane(fault.New(FaultPlanForSeed(seed), seed))
+	n0 := cluster.Nodes[0]
+
+	var tx *msg.RSender
+	var rx *msg.RReceiver
+	var got [][]byte
+	sender := n0.NewProcess("tx", func(c *proc.Context) error {
+		buf := make([]byte, 32)
+		for i := 0; i < total; i++ {
+			fmsg(i, buf)
+			if err := tx.Send(c, buf); err != nil {
+				return err
+			}
+		}
+		return tx.Flush(c)
+	})
+	recver := n0.NewProcess("rx", func(c *proc.Context) error {
+		buf := make([]byte, 32)
+		for i := 0; i < total; i++ {
+			n, err := rx.Recv(c, buf)
+			if err != nil {
+				return err
+			}
+			got = append(got, append([]byte(nil), buf[:n]...))
+		}
+		return rx.Linger(c, 2*sim.Millisecond)
+	})
+	h, err := method.Attach(n0, sender)
+	if err != nil {
+		return nil, nil, err
+	}
+	tx, rx, err = msg.NewReliableChannel(n0, sender, h, n0, recver, 0, msg.ReliableConfig{
+		Config:        msg.Config{Slots: 2, SlotPayload: 32},
+		RTO:           200 * sim.Microsecond,
+		MaxRetries:    8,
+		RecreditAfter: 500 * sim.Microsecond,
+		GiveUp:        20 * sim.Millisecond,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	check := func() error {
+		if err := sender.Err(); err != nil {
+			return fmt.Errorf("sender: %w", err)
+		}
+		if err := recver.Err(); err != nil {
+			return fmt.Errorf("receiver: %w", err)
+		}
+		if len(got) != total {
+			return fmt.Errorf("delivered %d of %d messages", len(got), total)
+		}
+		want := make([]byte, 32)
+		for i, g := range got {
+			fmsg(i, want)
+			if string(g) != string(want) {
+				return fmt.Errorf("message %d out of order or duplicated", i)
+			}
+		}
+		return nil
+	}
+	// Small-quantum finish: the endpoints poll each other, so the
+	// default run-to-block policy would starve whichever process the
+	// last explicit decision left off-CPU.
+	return cluster, &proc.World{Runner: n0.Runner, Check: check, Finish: proc.NewRoundRobin(8)}, nil
+}
+
+// faultSearchFactory adapts faultSearchWorld to the explorer's factory
+// shape (the cluster stays internal to the world's closures).
 func faultSearchFactory(seed uint64, total int) proc.WorldFactory {
 	return func() (*proc.World, error) {
-		method := userdma.ExtShadow{}
-		cluster, err := net.NewCluster(1, userdma.ConfigFor(method), net.Gigabit())
-		if err != nil {
-			return nil, err
-		}
-		cluster.Fabric.SetFaultPlane(fault.New(FaultPlanForSeed(seed), seed))
-		n0 := cluster.Nodes[0]
-
-		var tx *msg.RSender
-		var rx *msg.RReceiver
-		var got [][]byte
-		sender := n0.NewProcess("tx", func(c *proc.Context) error {
-			buf := make([]byte, 32)
-			for i := 0; i < total; i++ {
-				fmsg(i, buf)
-				if err := tx.Send(c, buf); err != nil {
-					return err
-				}
-			}
-			return tx.Flush(c)
-		})
-		recver := n0.NewProcess("rx", func(c *proc.Context) error {
-			buf := make([]byte, 32)
-			for i := 0; i < total; i++ {
-				n, err := rx.Recv(c, buf)
-				if err != nil {
-					return err
-				}
-				got = append(got, append([]byte(nil), buf[:n]...))
-			}
-			return rx.Linger(c, 2*sim.Millisecond)
-		})
-		h, err := method.Attach(n0, sender)
-		if err != nil {
-			return nil, err
-		}
-		tx, rx, err = msg.NewReliableChannel(n0, sender, h, n0, recver, 0, msg.ReliableConfig{
-			Config:        msg.Config{Slots: 2, SlotPayload: 32},
-			RTO:           200 * sim.Microsecond,
-			MaxRetries:    8,
-			RecreditAfter: 500 * sim.Microsecond,
-			GiveUp:        20 * sim.Millisecond,
-		})
-		if err != nil {
-			return nil, err
-		}
-		check := func() error {
-			if err := sender.Err(); err != nil {
-				return fmt.Errorf("sender: %w", err)
-			}
-			if err := recver.Err(); err != nil {
-				return fmt.Errorf("receiver: %w", err)
-			}
-			if len(got) != total {
-				return fmt.Errorf("delivered %d of %d messages", len(got), total)
-			}
-			want := make([]byte, 32)
-			for i, g := range got {
-				fmsg(i, want)
-				if string(g) != string(want) {
-					return fmt.Errorf("message %d out of order or duplicated", i)
-				}
-			}
-			return nil
-		}
-		// Small-quantum finish: the endpoints poll each other, so the
-		// default run-to-block policy would starve whichever process the
-		// last explicit decision left off-CPU.
-		return &proc.World{Runner: n0.Runner, Check: check, Finish: proc.NewRoundRobin(8)}, nil
+		_, w, err := faultSearchWorld(seed, total)
+		return w, err
 	}
 }
 

@@ -1,0 +1,67 @@
+package exp
+
+// MetricsSnapshot: the observability registry as a benchmark section.
+// One calibrated Table-1 world per method runs a fixed initiation
+// burst, then every registered metric (cpu.*, tlb.*, bus.*, wb.*,
+// phys.*, dma.*, proc.*, kernel.*) is snapshotted. The values are
+// exact event counts of a deterministic world, so cmd/benchdiff can
+// diff them like the timing leaves: any delta is a behavioural change,
+// and a metric present on only one side reads as added/removed.
+
+import (
+	"fmt"
+
+	userdma "uldma/internal/core"
+	"uldma/internal/obs"
+	"uldma/internal/proc"
+	"uldma/internal/vm"
+)
+
+// MetricsSnapshot runs iters 64-byte DMA initiations in each Table-1
+// method's world and returns every registered metric per method. The
+// worlds are serial (they are cheap; the section exists for diffing,
+// not for wall-clock numbers), so the document is byte-identical for
+// any -procs value.
+func MetricsSnapshot(iters int) (map[string][]obs.MetricValue, error) {
+	out := make(map[string][]obs.MetricValue, len(userdma.Methods()))
+	for _, method := range userdma.Methods() {
+		mv, err := methodMetrics(method, iters)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", method.Name(), err)
+		}
+		out[method.Name()] = mv
+	}
+	return out, nil
+}
+
+func methodMetrics(method userdma.Method, iters int) ([]obs.MetricValue, error) {
+	m := userdma.Machine(method)
+	var h *userdma.Handle
+	const src, dst = vm.VAddr(0x10000), vm.VAddr(0x20000)
+	p := m.NewProcess("metrics", func(c *proc.Context) error {
+		for i := 0; i < iters; i++ {
+			if _, err := h.DMA(c, src, dst, 64); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	var err error
+	if h, err = method.Attach(m, p); err != nil {
+		return nil, err
+	}
+	if _, err := m.SetupPages(p, src, 1, vm.Read|vm.Write); err != nil {
+		return nil, err
+	}
+	if _, err := m.SetupPages(p, dst, 1, vm.Read|vm.Write); err != nil {
+		return nil, err
+	}
+	if err := m.Run(proc.NewRoundRobin(1<<20), 1<<30); err != nil {
+		return nil, err
+	}
+	if p.Err() != nil {
+		return nil, p.Err()
+	}
+	m.Settle()
+	return m.Obs.Snapshot(), nil
+}

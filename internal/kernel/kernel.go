@@ -21,6 +21,7 @@ import (
 
 	"uldma/internal/cpu"
 	"uldma/internal/dma"
+	"uldma/internal/obs"
 	"uldma/internal/phys"
 	"uldma/internal/proc"
 	"uldma/internal/sim"
@@ -99,11 +100,22 @@ type Config struct {
 	UserFrameBase phys.Addr
 }
 
-// Stats counts kernel activity.
+// Stats counts kernel activity. It is a read-only compatibility view
+// over the kernel's obs counter cells (see internal/obs): existing
+// callers and experiment outputs keep their shape, while the storage
+// participates in the unified metrics registry.
 type Stats struct {
 	Syscalls    uint64
 	DMASyscalls uint64
 	Faults      uint64
+}
+
+// counters is the kernel's live metric storage. Copied by value into
+// snapshots, so it rewinds with the world.
+type counters struct {
+	syscalls    obs.Counter
+	dmaSyscalls obs.Counter
+	faults      obs.Counter
 }
 
 // Kernel is one node's operating system.
@@ -126,7 +138,10 @@ type Kernel struct {
 	flashHook   bool
 	palDMA      bool
 	watches     []writeWatch
-	stats       Stats
+	ctr         counters
+
+	tr   *obs.Trace
+	node int32
 }
 
 // writeWatch is one process sleeping until remote data lands in a
@@ -160,7 +175,49 @@ func New(cfg Config, c *cpu.CPU, mem *phys.Memory, engine *dma.Engine, runner *p
 }
 
 // Stats returns a snapshot of the counters.
-func (k *Kernel) Stats() Stats { return k.stats }
+func (k *Kernel) Stats() Stats {
+	return Stats{
+		Syscalls:    k.ctr.syscalls.Value(),
+		DMASyscalls: k.ctr.dmaSyscalls.Value(),
+		Faults:      k.ctr.faults.Value(),
+	}
+}
+
+// RegisterMetrics registers the kernel's counters with the machine-wide
+// registry.
+func (k *Kernel) RegisterMetrics(r *obs.Registry) {
+	r.RegisterCounter("kernel.syscalls", &k.ctr.syscalls)
+	r.RegisterCounter("kernel.dma_syscalls", &k.ctr.dmaSyscalls)
+	r.RegisterCounter("kernel.faults", &k.ctr.faults)
+}
+
+// SetTracer attaches (or detaches, with nil) the structured trace
+// spine. Enabled, every syscall emits a CatSyscall span covering
+// entry to exit.
+func (k *Kernel) SetTracer(t *obs.Trace, node int32) {
+	k.tr = t
+	k.node = node
+}
+
+// syscallName maps a syscall number to its static trace label.
+// Returned strings are constants: the hot path never formats.
+func syscallName(num int) string {
+	switch num {
+	case SysNull:
+		return "sys_null"
+	case SysDMA:
+		return "sys_dma"
+	case SysAtomic:
+		return "sys_atomic"
+	case SysDMAStatus:
+		return "sys_dma_status"
+	case SysDMAWait:
+		return "sys_dma_wait"
+	case SysWaitWrite:
+		return "sys_wait_write"
+	}
+	return "sys_unknown"
+}
 
 // RNGState exposes the key RNG's position for the machine fingerprint:
 // SplitMix64 advances its state by a constant per draw, so in steady
@@ -433,10 +490,16 @@ func (k *Kernel) InstallPALDMA() {
 // Syscall implements proc.SyscallHandler: Figure 1's uninterruptible
 // kernel path, with the trap costs charged explicitly.
 func (k *Kernel) Syscall(p *proc.Process, num int, args []uint64) (uint64, error) {
-	k.stats.Syscalls++
+	k.ctr.syscalls.Inc()
+	start := k.cpu.Clock().Now()
 	k.cpu.Spin(k.cfg.SyscallEntryCycles)
 	ret, err := k.dispatch(p, num, args)
 	k.cpu.Spin(k.cfg.SyscallExitCycles)
+	if k.tr != nil {
+		end := k.cpu.Clock().Now()
+		k.tr.Span(start, end-start, obs.CatSyscall, syscallName(num),
+			k.node, int32(p.PID()), uint64(num), ret, 0)
+	}
 	return ret, err
 }
 
@@ -470,31 +533,31 @@ func (k *Kernel) dispatch(p *proc.Process, num int, args []uint64) (uint64, erro
 
 // sysDMA is Figure 1 verbatim.
 func (k *Kernel) sysDMA(p *proc.Process, vsrc, vdst vm.VAddr, size uint64) (uint64, error) {
-	k.stats.DMASyscalls++
+	k.ctr.dmaSyscalls.Inc()
 	as := p.AddressSpace()
 
 	// psource = virtual_to_physical(vsource)
 	k.cpu.Spin(k.cfg.TranslateCycles)
 	psrc, err := as.Translate(vsrc, vm.AccessLoad)
 	if err != nil {
-		k.stats.Faults++
+		k.ctr.faults.Inc()
 		return dma.StatusFailure, err
 	}
 	// pdestination = virtual_to_physical(vdestination)
 	k.cpu.Spin(k.cfg.TranslateCycles)
 	pdst, err := as.Translate(vdst, vm.AccessStore)
 	if err != nil {
-		k.stats.Faults++
+		k.ctr.faults.Inc()
 		return dma.StatusFailure, err
 	}
 	// check_size(): protection over the whole transfer range.
 	k.cpu.Spin(k.cfg.CheckSizeCycles)
 	if err := as.CheckRange(vsrc, size, vm.AccessLoad); err != nil {
-		k.stats.Faults++
+		k.ctr.faults.Inc()
 		return dma.StatusFailure, err
 	}
 	if err := as.CheckRange(vdst, size, vm.AccessStore); err != nil {
-		k.stats.Faults++
+		k.ctr.faults.Inc()
 		return dma.StatusFailure, err
 	}
 
@@ -543,7 +606,7 @@ func (k *Kernel) sysWaitWrite(p *proc.Process, va vm.VAddr) (uint64, error) {
 	base := as.PageBase(va)
 	pte, ok := as.Lookup(base)
 	if !ok {
-		k.stats.Faults++
+		k.ctr.faults.Inc()
 		return dma.StatusFailure, &vm.Fault{VA: va, Access: vm.AccessLoad, Kind: vm.FaultUnmapped, ASID: as.ASID()}
 	}
 	k.watches = append(k.watches, writeWatch{
@@ -583,7 +646,7 @@ func (k *Kernel) sysAtomic(p *proc.Process, op int, va vm.VAddr, operand uint64)
 	k.cpu.Spin(k.cfg.TranslateCycles)
 	pa, err := p.AddressSpace().Translate(va, vm.AccessRMW)
 	if err != nil {
-		k.stats.Faults++
+		k.ctr.faults.Inc()
 		return 0, err
 	}
 	target := k.engine.Config().AtomicShadow(pa, op)

@@ -25,7 +25,7 @@ type Snapshot struct {
 	shrimp2   bool
 	flash     bool
 	palDMA    bool
-	stats     Stats
+	ctr       counters
 }
 
 // SHRIMP2Hook reports whether the SHRIMP-2 context-switch hook was
@@ -58,7 +58,7 @@ func (k *Kernel) Snapshot() (*Snapshot, error) {
 		shrimp2:   k.shrimp2Hook,
 		flash:     k.flashHook,
 		palDMA:    k.palDMA,
-		stats:     k.stats,
+		ctr:       k.ctr,
 	}
 	for pid, ctx := range k.procCtx {
 		s.procCtx[pid] = ctx
@@ -91,6 +91,6 @@ func (k *Kernel) Restore(s *Snapshot) error {
 	k.flashHook = s.flash
 	k.palDMA = s.palDMA
 	k.watches = k.watches[:0]
-	k.stats = s.stats
+	k.ctr = s.ctr
 	return nil
 }

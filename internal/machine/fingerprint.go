@@ -27,7 +27,7 @@ package machine
 // samples analytically and advance the clock in one step.
 
 // FingerprintLen is the number of words in a Fingerprint.
-const FingerprintLen = 50
+const FingerprintLen = 52
 
 // Fingerprint is one machine-state sample. Compare deltas with Delta.
 type Fingerprint [FingerprintLen]uint64
@@ -140,6 +140,17 @@ func (m *Machine) Fingerprint() Fingerprint {
 	put(rs.Slots)
 	put(rs.Switches)
 	put(uint64(rs.SwitchTime))
+
+	// Trace spine (linear): events offered and not-retained advance by
+	// a constant per identical iteration when tracing is enabled, and
+	// are zero when it is not (nil tracer).
+	if m.Tracer != nil {
+		put(m.Tracer.Emitted())
+		put(m.Tracer.Dropped())
+	} else {
+		put(0)
+		put(0)
+	}
 
 	// Kernel counters and RNG position (linear).
 	ks := m.Kernel.Stats()

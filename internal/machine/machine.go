@@ -17,6 +17,7 @@ import (
 	"uldma/internal/cpu"
 	"uldma/internal/dma"
 	"uldma/internal/kernel"
+	"uldma/internal/obs"
 	"uldma/internal/phys"
 	"uldma/internal/proc"
 	"uldma/internal/sim"
@@ -182,6 +183,12 @@ type Machine struct {
 	// NodeID is the machine's cluster node id (0 for a standalone
 	// machine; set by net.NewCluster).
 	NodeID int
+	// Obs is the machine-wide metrics registry: every component's
+	// counters under dotted names, in a fixed registration order.
+	Obs *obs.Registry
+	// Tracer is the structured trace spine; nil until EnableTrace (the
+	// pay-for-what-you-use disabled state).
+	Tracer *obs.Trace
 }
 
 // EventQueueHint is the event-queue capacity pre-sized for a
@@ -235,10 +242,12 @@ func NewWithClock(cfg Config, clock *sim.Clock, events *sim.EventQueue) (*Machin
 
 	runner := proc.NewRunner(c, cfg.Runner)
 	k := kernel.New(cfg.Kernel, c, mem, engine, runner)
-	return &Machine{
+	m := &Machine{
 		Cfg: cfg, Clock: clock, Events: events, Mem: mem, Bus: b,
 		WB: wb, CPU: c, Engine: engine, Kernel: k, Runner: runner,
-	}, nil
+	}
+	m.registerMetrics()
+	return m, nil
 }
 
 // MustNew is New that panics on error — for presets known to be valid.

@@ -1,0 +1,82 @@
+package machine
+
+// Observability wiring: the machine-wide metrics registry and the
+// structured trace spine (internal/obs).
+//
+// Registry: every component registers its counters at construction,
+// in a fixed order (CPU, TLB, bus, write buffer, memory, engine,
+// scheduler, kernel — the fingerprint's order), so two identically
+// built machines render byte-identical metric snapshots. Components
+// with obs-cell storage register their cells directly; the CPU, TLB
+// and write buffer (whose counter structs are also their snapshot
+// wire format) register closures over their Stats() accessors — both
+// paths read live, restore-aware state.
+//
+// Tracer: nil until EnableTrace. Enabling hands the one Trace to
+// every emitting component (bus, scheduler, kernel; the DMA window
+// spans ride on the bus). The trace's state is captured by Snapshot
+// and rewound by Restore/NewFromSnapshot like every other metric —
+// the rewind-with-the-world rule.
+
+import "uldma/internal/obs"
+
+// registerMetrics builds the machine's registry. Called once from
+// NewWithClock; registration order is the deterministic render order.
+func (m *Machine) registerMetrics() {
+	r := obs.NewRegistry()
+
+	// CPU counters (closures over the compat accessor: the CPU's stats
+	// struct doubles as its snapshot wire format, so the cells stay).
+	r.Register("cpu.instructions", func() uint64 { return m.CPU.Stats().Instructions })
+	r.Register("cpu.loads", func() uint64 { return m.CPU.Stats().Loads })
+	r.Register("cpu.stores", func() uint64 { return m.CPU.Stats().Stores })
+	r.Register("cpu.rmws", func() uint64 { return m.CPU.Stats().RMWs })
+	r.Register("cpu.barriers", func() uint64 { return m.CPU.Stats().Barriers })
+	r.Register("cpu.device_access", func() uint64 { return m.CPU.Stats().DeviceAccess })
+	r.Register("cpu.memory_access", func() uint64 { return m.CPU.Stats().MemoryAccess })
+	r.Register("cpu.compute_cycles", func() uint64 { return uint64(m.CPU.Stats().ComputeCycles) })
+
+	// TLB.
+	r.Register("tlb.hits", func() uint64 { return m.CPU.TLB().Stats().Hits })
+	r.Register("tlb.misses", func() uint64 { return m.CPU.TLB().Stats().Misses })
+
+	// Bus, write buffer, memory.
+	m.Bus.RegisterMetrics(r)
+	r.Register("wb.enqueued", func() uint64 { return m.WB.Stats().Enqueued })
+	r.Register("wb.coalesced", func() uint64 { return m.WB.Stats().Coalesced })
+	r.Register("wb.load_forwards", func() uint64 { return m.WB.Stats().LoadForwards })
+	r.Register("wb.drains", func() uint64 { return m.WB.Stats().Drains })
+	r.Register("wb.drained_ops", func() uint64 { return m.WB.Stats().DrainedOps })
+	m.Mem.RegisterMetrics(r)
+
+	// DMA engine, scheduler, kernel.
+	m.Engine.RegisterMetrics(r)
+	m.Runner.RegisterMetrics(r)
+	m.Kernel.RegisterMetrics(r)
+
+	m.Obs = r
+}
+
+// EnableTrace turns on the structured trace spine with the given
+// capacity and overflow policy (max <= 0 means obs.DefaultTraceCap)
+// and attaches it to every emitting component. Calling it again
+// replaces the trace. Returns the trace for export.
+func (m *Machine) EnableTrace(max int, policy obs.Policy) *obs.Trace {
+	tr := obs.NewTrace(max, policy)
+	m.AttachTracer(tr)
+	return tr
+}
+
+// AttachTracer attaches an existing trace (shared by cluster nodes) to
+// every emitting component, or detaches with nil.
+func (m *Machine) AttachTracer(tr *obs.Trace) {
+	m.Tracer = tr
+	node := int32(m.NodeID)
+	m.Bus.SetTracer(tr, node)
+	m.Runner.SetTracer(tr, node)
+	m.Kernel.SetTracer(tr, node)
+}
+
+// DisableTrace detaches the trace spine; emission sites fall back to
+// the nil fast path.
+func (m *Machine) DisableTrace() { m.AttachTracer(nil) }

@@ -22,6 +22,7 @@ import (
 	"uldma/internal/cpu"
 	"uldma/internal/dma"
 	"uldma/internal/kernel"
+	"uldma/internal/obs"
 	"uldma/internal/phys"
 	"uldma/internal/proc"
 	"uldma/internal/sim"
@@ -43,6 +44,7 @@ type Snapshot struct {
 	engine *dma.EngineSnapshot
 	kern   *kernel.Snapshot
 	runner *proc.RunnerSnapshot
+	trace  *obs.TraceState // nil when tracing was disabled
 	origin *Machine
 }
 
@@ -71,7 +73,7 @@ func (m *Machine) Snapshot() (*Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Snapshot{
+	s := &Snapshot{
 		cfg:    m.Cfg,
 		time:   m.Clock.Now(),
 		seq:    m.Events.SnapshotSeq(),
@@ -83,7 +85,11 @@ func (m *Machine) Snapshot() (*Snapshot, error) {
 		kern:   kern,
 		runner: runner,
 		origin: m,
-	}, nil
+	}
+	if m.Tracer != nil {
+		s.trace = m.Tracer.State()
+	}
+	return s, nil
 }
 
 // Restore rewinds the snapshot's origin machine in place: post-snapshot
@@ -133,6 +139,12 @@ func NewFromSnapshot(s *Snapshot) (*Machine, error) {
 	if s.kern.PALDMAInstalled() {
 		m.Kernel.InstallPALDMA()
 	}
+	if s.trace != nil {
+		// Re-enact tracing: the clone gets its own trace of the same
+		// capacity and policy, rewound to the snapshot (the
+		// rewind-with-the-world rule, same as every counter).
+		m.EnableTrace(s.trace.Cap(), s.trace.Policy())
+	}
 	if err := m.Runner.Adopt(s.runner); err != nil {
 		return nil, err
 	}
@@ -169,6 +181,11 @@ func (m *Machine) restoreInto(s *Snapshot) error {
 	}
 	if err := m.Engine.Restore(s.engine); err != nil {
 		return err
+	}
+	if s.trace != nil && m.Tracer != nil {
+		if err := m.Tracer.RestoreState(s.trace); err != nil {
+			return err
+		}
 	}
 	return m.Kernel.Restore(s.kern)
 }

@@ -38,6 +38,7 @@ import (
 	userdma "uldma/internal/core"
 	"uldma/internal/dma"
 	"uldma/internal/machine"
+	"uldma/internal/obs"
 	"uldma/internal/phys"
 	"uldma/internal/proc"
 	"uldma/internal/sim"
@@ -139,6 +140,7 @@ type RSender struct {
 	deadline sim.Time
 	tries    int
 	stats    RStats
+	sm       *machine.Machine // for the trace spine (sm.Tracer, read per event)
 }
 
 // RReceiver is the reliable receiving endpoint.
@@ -148,6 +150,7 @@ type RReceiver struct {
 	clock    *sim.Clock
 	consumed uint64
 	stats    RStats
+	rm       *machine.Machine // for the trace spine (rm.Tracer, read per event)
 }
 
 // Stats returns a snapshot of the sender's counters.
@@ -243,11 +246,11 @@ func NewReliableChannel(sm *machine.Machine, senderProc *proc.Process, h *userdm
 	}
 
 	s := &RSender{
-		cfg: cfg, va: va, h: h, clock: sm.Clock,
+		cfg: cfg, va: va, h: h, clock: sm.Clock, sm: sm,
 		lens:  make([]uint64, cfg.Slots),
 		csums: make([]uint64, cfg.Slots),
 	}
-	r := &RReceiver{cfg: cfg, va: va, clock: rm.Clock}
+	r := &RReceiver{cfg: cfg, va: va, clock: rm.Clock, rm: rm}
 	return s, r, nil
 }
 
@@ -302,11 +305,19 @@ func (s *RSender) pump(c *proc.Context) error {
 			s.cfg.MaxRetries, s.credited+1, s.sent)
 	}
 	s.stats.Timeouts++
+	if tr := s.sm.Tracer; tr != nil {
+		tr.Instant(s.clock.Now(), obs.CatMsg, "timeout",
+			int32(s.sm.NodeID), -1, s.credited+1, s.sent, uint64(s.tries))
+	}
 	for seq := s.credited + 1; seq <= s.sent; seq++ {
 		if err := s.transmit(c, seq); err != nil {
 			return err
 		}
 		s.stats.Retransmits++
+		if tr := s.sm.Tracer; tr != nil {
+			tr.Instant(s.clock.Now(), obs.CatMsg, "retransmit",
+				int32(s.sm.NodeID), -1, seq, 0, 0)
+		}
 	}
 	s.rto *= 2
 	if s.rto > s.cfg.MaxRTO {
@@ -437,6 +448,10 @@ func (r *RReceiver) Linger(c *proc.Context, d sim.Time) error {
 				return err
 			}
 			r.stats.Recredits++
+			if tr := r.rm.Tracer; tr != nil {
+				tr.Instant(r.clock.Now(), obs.CatMsg, "recredit",
+					int32(r.rm.NodeID), -1, r.consumed, 0, 0)
+			}
 			next = r.clock.Now() + r.cfg.RecreditAfter
 		}
 		c.Spin(2000)
@@ -523,6 +538,10 @@ func (r *RReceiver) Recv(c *proc.Context, buf []byte) (int, error) {
 				return 0, err
 			}
 			r.stats.Recredits++
+			if tr := r.rm.Tracer; tr != nil {
+				tr.Instant(r.clock.Now(), obs.CatMsg, "recredit",
+					int32(r.rm.NodeID), -1, r.consumed, 0, 0)
+			}
 			lastProgress = now
 		}
 		c.Spin(500)

@@ -16,6 +16,7 @@ import (
 
 	"uldma/internal/dma"
 	"uldma/internal/machine"
+	"uldma/internal/obs"
 	"uldma/internal/phys"
 	"uldma/internal/proc"
 	"uldma/internal/sim"
@@ -45,6 +46,10 @@ func ATM155() LinkConfig {
 // FabricStats counts fabric traffic. The last four counters are only
 // ever advanced by an attached fault plane (SetFaultPlane); on a
 // fault-free fabric Delivered is the only one that moves.
+//
+// FabricStats is a read-only compatibility view over the fabric's obs
+// counter cells (see internal/obs); the storage lives in counters and
+// participates in the cluster-wide metrics registry.
 type FabricStats struct {
 	Messages  uint64
 	Bytes     uint64
@@ -55,6 +60,19 @@ type FabricStats struct {
 	FaultDropped uint64 // payloads the fault plane swallowed
 	Duplicated   uint64 // extra copies the fault plane injected
 	Reordered    uint64 // copies released from the per-destination FIFO
+}
+
+// counters is the fabric's live metric storage, copied by value into
+// cluster snapshots so it rewinds with the world.
+type counters struct {
+	messages     obs.Counter
+	bytes        obs.Counter
+	dropped      obs.Counter
+	remoteMax    obs.Gauge // highest node id addressed (Max semantics)
+	delivered    obs.Counter
+	faultDropped obs.Counter
+	duplicated   obs.Counter
+	reordered    obs.Counter
 }
 
 // Arrival describes one delivered copy of a faulted message: an extra
@@ -101,6 +119,13 @@ type Cluster struct {
 	Events *sim.EventQueue
 	Nodes  []*machine.Machine
 	Fabric *Fabric
+	// Obs is the cluster-level metrics registry: the fabric's traffic
+	// counters under "net.*". Per-node counters live in each node's own
+	// registry (Nodes[i].Obs).
+	Obs *obs.Registry
+	// Tracer is the cluster-wide trace spine shared by every node and
+	// the fabric; nil until EnableTrace.
+	Tracer *obs.Trace
 }
 
 // NewCluster builds n nodes from cfg and wires their engines to a
@@ -118,6 +143,8 @@ func NewCluster(n int, cfg machine.Config, link LinkConfig) (*Cluster, error) {
 	events := sim.NewEventQueueSize(n * machine.EventQueueHint)
 	c := &Cluster{Clock: clock, Events: events}
 	c.Fabric = &Fabric{cluster: c, link: link}
+	c.Obs = obs.NewRegistry()
+	c.Fabric.RegisterMetrics(c.Obs)
 	for i := 0; i < n; i++ {
 		m, err := machine.NewWithClock(cfg, clock, events)
 		if err != nil {
@@ -137,6 +164,27 @@ func MustNewCluster(n int, cfg machine.Config, link LinkConfig) *Cluster {
 		panic(err)
 	}
 	return c
+}
+
+// EnableTrace turns on the structured trace spine cluster-wide: ONE
+// shared trace (max <= 0 means obs.DefaultTraceCap) attached to every
+// node's bus/scheduler/kernel and to the fabric, so syscalls, bus
+// transactions, DMA windows, link deliveries and fault verdicts from
+// all nodes interleave on one timeline. Returns the trace for export.
+func (c *Cluster) EnableTrace(max int, policy obs.Policy) *obs.Trace {
+	tr := obs.NewTrace(max, policy)
+	c.AttachTracer(tr)
+	return tr
+}
+
+// AttachTracer attaches an existing trace to every node and the
+// fabric, or detaches with nil.
+func (c *Cluster) AttachTracer(tr *obs.Trace) {
+	c.Tracer = tr
+	for _, m := range c.Nodes {
+		m.AttachTracer(tr)
+	}
+	c.Fabric.SetTracer(tr)
 }
 
 // Run interleaves every node's scheduler, one instruction slot per node
@@ -211,13 +259,44 @@ type Fabric struct {
 	cluster  *Cluster
 	link     LinkConfig
 	lastInto map[int]sim.Time // per-destination FIFO point
-	stats    FabricStats
+	ctr      counters
 	plane    FaultPlane
 	free     []*delivery // pooled in-flight payload records
+	tr       *obs.Trace  // nil = tracing disabled
 }
 
 // Stats returns a snapshot of the counters.
-func (f *Fabric) Stats() FabricStats { return f.stats }
+func (f *Fabric) Stats() FabricStats {
+	return FabricStats{
+		Messages:     f.ctr.messages.Value(),
+		Bytes:        f.ctr.bytes.Value(),
+		Dropped:      f.ctr.dropped.Value(),
+		RemoteMax:    int(f.ctr.remoteMax.Value()),
+		Delivered:    f.ctr.delivered.Value(),
+		FaultDropped: f.ctr.faultDropped.Value(),
+		Duplicated:   f.ctr.duplicated.Value(),
+		Reordered:    f.ctr.reordered.Value(),
+	}
+}
+
+// RegisterMetrics registers the fabric's counters with the cluster-wide
+// registry.
+func (f *Fabric) RegisterMetrics(r *obs.Registry) {
+	r.RegisterCounter("net.messages", &f.ctr.messages)
+	r.RegisterCounter("net.bytes", &f.ctr.bytes)
+	r.RegisterCounter("net.dropped", &f.ctr.dropped)
+	r.RegisterGauge("net.remote_max", &f.ctr.remoteMax)
+	r.RegisterCounter("net.delivered", &f.ctr.delivered)
+	r.RegisterCounter("net.fault_dropped", &f.ctr.faultDropped)
+	r.RegisterCounter("net.duplicated", &f.ctr.duplicated)
+	r.RegisterCounter("net.reordered", &f.ctr.reordered)
+}
+
+// SetTracer attaches (or detaches, with nil) the structured trace
+// spine. Enabled, every remote payload emits a CatLink span from send
+// to landing, and every fault-plane verdict that changes the delivery
+// emits a CatFault instant.
+func (f *Fabric) SetTracer(t *obs.Trace) { f.tr = t }
 
 // SetFaultPlane attaches (or, with nil, detaches) a fault plane. With
 // no plane — or a plane whose Judge always returns the identity verdict
@@ -278,7 +357,7 @@ func (f *Fabric) land(d *delivery) {
 	if err := dst.Mem.WriteBytes(d.addr, d.buf); err != nil {
 		panic(err)
 	}
-	f.stats.Delivered++
+	f.ctr.delivered.Inc()
 	// Receive interrupt: wake any process sleeping on this range.
 	dst.Kernel.NotifyRemoteWrite(d.addr, len(d.buf))
 	d.buf = d.buf[:0]
@@ -313,17 +392,17 @@ func (f *Fabric) enqueue(node int, addr phys.Addr, data []byte, arrive sim.Time,
 // shared clock here.
 func (f *Fabric) RMWRemote(node int, addr phys.Addr, op int, size phys.AccessSize, val uint64) (uint64, error) {
 	if node < 0 || node >= len(f.cluster.Nodes) {
-		f.stats.Dropped++
+		f.ctr.dropped.Inc()
 		return 0, fmt.Errorf("net: remote atomic to nonexistent node %d", node)
 	}
 	// Request travels, the remote engine applies the operation, the
 	// reply travels back.
 	f.cluster.Clock.Advance(2 * f.link.Latency)
-	f.stats.Messages += 2
-	f.stats.Bytes += 16 // request + reply words
+	f.ctr.messages.Add(2)
+	f.ctr.bytes.Add(16) // request + reply words
 	old, err := dma.ApplyAtomic(f.cluster.Nodes[node].Mem, addr, op, size, val)
 	if err != nil {
-		f.stats.Dropped++
+		f.ctr.dropped.Inc()
 		return 0, err
 	}
 	return old, nil
@@ -350,38 +429,58 @@ func (f *Fabric) Deliver(node int, addr phys.Addr, data []byte, at sim.Time) err
 
 func (f *Fabric) deliver(src, node int, addr phys.Addr, data []byte, at sim.Time) error {
 	if node < 0 || node >= len(f.cluster.Nodes) {
-		f.stats.Dropped++
+		f.ctr.dropped.Inc()
 		return fmt.Errorf("net: delivery to nonexistent node %d", node)
 	}
 	dst := f.cluster.Nodes[node]
 	if uint64(addr)+uint64(len(data)) > uint64(dst.Mem.Size()) {
-		f.stats.Dropped++
+		f.ctr.dropped.Inc()
 		return fmt.Errorf("net: delivery to node %d at %v overruns its memory", node, addr)
 	}
-	f.stats.Messages++
-	f.stats.Bytes += uint64(len(data))
-	if node > f.stats.RemoteMax {
-		f.stats.RemoteMax = node
-	}
+	f.ctr.messages.Inc()
+	f.ctr.bytes.Add(uint64(len(data)))
+	f.ctr.remoteMax.Max(int64(node))
 	arrive := at + f.link.Latency +
 		sim.Time(uint64(len(data))*uint64(sim.Second)/f.link.Bandwidth)
 	if f.plane == nil {
+		if f.tr != nil {
+			f.tr.Span(at, arrive-at, obs.CatLink, "deliver",
+				int32(node), -1, uint64(addr), uint64(len(data)), uint64(int64(src)))
+		}
 		f.enqueue(node, addr, data, arrive, true)
 		return nil
 	}
 	v := f.plane.Judge(src, node, at)
 	if v.N <= 0 {
-		f.stats.FaultDropped++
+		f.ctr.faultDropped.Inc()
+		if f.tr != nil {
+			f.tr.Instant(at, obs.CatFault, "drop",
+				int32(node), -1, uint64(addr), uint64(len(data)), uint64(int64(src)))
+		}
 		return nil
 	}
 	if v.N > len(v.Copies) {
 		v.N = len(v.Copies)
 	}
-	f.stats.Duplicated += uint64(v.N - 1)
+	if v.N > 1 {
+		f.ctr.duplicated.Add(uint64(v.N - 1))
+		if f.tr != nil {
+			f.tr.Instant(at, obs.CatFault, "dup",
+				int32(node), -1, uint64(addr), uint64(v.N), uint64(int64(src)))
+		}
+	}
 	for i := 0; i < v.N; i++ {
 		a := v.Copies[i]
 		if a.Unordered {
-			f.stats.Reordered++
+			f.ctr.reordered.Inc()
+			if f.tr != nil {
+				f.tr.Instant(at, obs.CatFault, "reorder",
+					int32(node), -1, uint64(addr), uint64(a.Delay), uint64(int64(src)))
+			}
+		}
+		if f.tr != nil {
+			f.tr.Span(at, arrive+a.Delay-at, obs.CatLink, "deliver",
+				int32(node), -1, uint64(addr), uint64(len(data)), uint64(int64(src)))
 		}
 		f.enqueue(node, addr, data, arrive+a.Delay, !a.Unordered)
 	}

@@ -28,7 +28,7 @@ import (
 type ClusterSnapshot struct {
 	nodes    []*machine.Snapshot
 	lastInto map[int]sim.Time
-	stats    FabricStats
+	ctr      counters
 	plane    any // fault-plane state; nil when no plane was attached
 }
 
@@ -36,7 +36,7 @@ type ClusterSnapshot struct {
 // cannot be quiesced (a process still live — see machine.Snapshot).
 func (c *Cluster) Snapshot() (*ClusterSnapshot, error) {
 	c.Settle()
-	s := &ClusterSnapshot{stats: c.Fabric.stats}
+	s := &ClusterSnapshot{ctr: c.Fabric.ctr}
 	if len(c.Fabric.lastInto) > 0 {
 		s.lastInto = make(map[int]sim.Time, len(c.Fabric.lastInto))
 		for k, v := range c.Fabric.lastInto {
@@ -73,7 +73,7 @@ func (c *Cluster) Restore(s *ClusterSnapshot) error {
 			return fmt.Errorf("net: restore node %d: %w", i, err)
 		}
 	}
-	c.Fabric.stats = s.stats
+	c.Fabric.ctr = s.ctr
 	c.Fabric.lastInto = nil
 	if len(s.lastInto) > 0 {
 		c.Fabric.lastInto = make(map[int]sim.Time, len(s.lastInto))

@@ -10,6 +10,8 @@ package phys
 import (
 	"encoding/binary"
 	"fmt"
+
+	"uldma/internal/obs"
 )
 
 // Addr is a physical byte address. The simulated machines use a 34-bit
@@ -53,12 +55,24 @@ func (e *Error) Error() string {
 	return fmt.Sprintf("phys: %s %d bytes at %v: %s", e.Op, int(e.Size), e.Addr, e.Why)
 }
 
-// Stats counts traffic into a Memory, for experiment reporting.
+// Stats counts traffic into a Memory, for experiment reporting. It is
+// a read-only view assembled from the obs counter cells on demand (the
+// thin compatibility accessor over the unified metrics plane).
 type Stats struct {
 	Reads      uint64 // word-sized read operations
 	Writes     uint64 // word-sized write operations
 	BytesRead  uint64
 	BytesWrote uint64
+}
+
+// counters is the live metric storage: typed obs cells, registered
+// with the machine's registry at construction and captured by value in
+// snapshots so access statistics rewind with the world.
+type counters struct {
+	reads      obs.Counter
+	writes     obs.Counter
+	bytesRead  obs.Counter
+	bytesWrote obs.Counter
 }
 
 // Chunked backing store: physical memory is materialized lazily in
@@ -91,7 +105,7 @@ type Memory struct {
 	size   int
 	chunks [][]byte // lazily allocated; nil chunk reads as zeros
 	shared []bool   // chunk is owned by a snapshot: copy before write
-	stats  Stats
+	ctr    counters
 }
 
 // New allocates a physical memory of size bytes, zero-filled. Size must
@@ -150,7 +164,7 @@ func (m *Memory) chunkRW(addr Addr) []byte {
 type Snapshot struct {
 	size   int
 	chunks [][]byte
-	stats  Stats
+	ctr    counters
 }
 
 // Snapshot captures the current contents. It marks every materialized
@@ -160,7 +174,7 @@ func (m *Memory) Snapshot() *Snapshot {
 	if m.shared == nil {
 		m.shared = make([]bool, len(m.chunks))
 	}
-	s := &Snapshot{size: m.size, chunks: make([][]byte, len(m.chunks)), stats: m.stats}
+	s := &Snapshot{size: m.size, chunks: make([][]byte, len(m.chunks)), ctr: m.ctr}
 	for i, c := range m.chunks {
 		if c != nil {
 			m.shared[i] = true
@@ -185,7 +199,7 @@ func (m *Memory) Restore(s *Snapshot) error {
 		m.chunks[i] = c
 		m.shared[i] = c != nil
 	}
-	m.stats = s.stats
+	m.ctr = s.ctr
 	return nil
 }
 
@@ -198,10 +212,25 @@ func FromSnapshot(s *Snapshot) *Memory {
 }
 
 // Stats returns a snapshot of the access counters.
-func (m *Memory) Stats() Stats { return m.stats }
+func (m *Memory) Stats() Stats {
+	return Stats{
+		Reads:      m.ctr.reads.Value(),
+		Writes:     m.ctr.writes.Value(),
+		BytesRead:  m.ctr.bytesRead.Value(),
+		BytesWrote: m.ctr.bytesWrote.Value(),
+	}
+}
 
 // ResetStats zeroes the access counters.
-func (m *Memory) ResetStats() { m.stats = Stats{} }
+func (m *Memory) ResetStats() { m.ctr = counters{} }
+
+// RegisterMetrics publishes the memory's counters in a registry.
+func (m *Memory) RegisterMetrics(r *obs.Registry) {
+	r.RegisterCounter("phys.reads", &m.ctr.reads)
+	r.RegisterCounter("phys.writes", &m.ctr.writes)
+	r.RegisterCounter("phys.bytes_read", &m.ctr.bytesRead)
+	r.RegisterCounter("phys.bytes_wrote", &m.ctr.bytesWrote)
+}
 
 // Contains reports whether an access of the given size at addr lies
 // entirely inside memory.
@@ -229,8 +258,8 @@ func (m *Memory) Read(addr Addr, size AccessSize) (uint64, error) {
 	if err := m.check("read", addr, size); err != nil {
 		return 0, err
 	}
-	m.stats.Reads++
-	m.stats.BytesRead += uint64(size)
+	m.ctr.reads.Inc()
+	m.ctr.bytesRead.Add(uint64(size))
 	c := m.chunkRO(addr)
 	if c == nil {
 		return 0, nil // never-written chunk: zero-filled RAM
@@ -255,8 +284,8 @@ func (m *Memory) Write(addr Addr, size AccessSize, val uint64) error {
 	if err := m.check("write", addr, size); err != nil {
 		return err
 	}
-	m.stats.Writes++
-	m.stats.BytesWrote += uint64(size)
+	m.ctr.writes.Inc()
+	m.ctr.bytesWrote.Add(uint64(size))
 	b := m.chunkRW(addr)[addr&chunkMask:]
 	switch size {
 	case Size8:
@@ -311,7 +340,7 @@ func (m *Memory) ReadInto(addr Addr, dst []byte) error {
 		}
 		off += span
 	}
-	m.stats.BytesRead += uint64(n)
+	m.ctr.bytesRead.Add(uint64(n))
 	return nil
 }
 
@@ -329,7 +358,7 @@ func (m *Memory) WriteBytes(addr Addr, b []byte) error {
 		copy(m.chunkRW(a)[a&chunkMask:], b[off:off+span])
 		off += span
 	}
-	m.stats.BytesWrote += uint64(len(b))
+	m.ctr.bytesWrote.Add(uint64(len(b)))
 	return nil
 }
 
@@ -369,8 +398,8 @@ func (m *Memory) Copy(dst, src Addr, n int) error {
 		copy(m.chunkRW(a)[a&chunkMask:], tmp[off:off+span])
 		off += span
 	}
-	m.stats.BytesRead += uint64(n)
-	m.stats.BytesWrote += uint64(n)
+	m.ctr.bytesRead.Add(uint64(n))
+	m.ctr.bytesWrote.Add(uint64(n))
 	return nil
 }
 
@@ -396,6 +425,6 @@ func (m *Memory) Fill(addr Addr, n int, v byte) error {
 		}
 		off += span
 	}
-	m.stats.BytesWrote += uint64(n)
+	m.ctr.bytesWrote.Add(uint64(n))
 	return nil
 }

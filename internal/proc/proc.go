@@ -26,6 +26,7 @@ import (
 	"fmt"
 
 	"uldma/internal/cpu"
+	"uldma/internal/obs"
 	"uldma/internal/phys"
 	"uldma/internal/sim"
 	"uldma/internal/vm"
@@ -134,11 +135,22 @@ type report struct {
 	err      error
 }
 
-// Stats counts scheduler activity.
+// Stats counts scheduler activity. It is a read-only view assembled
+// from the obs counter cells on demand (the thin compatibility
+// accessor over the unified metrics plane).
 type Stats struct {
 	Slots      uint64 // instruction slots granted
 	Switches   uint64 // context switches performed
 	SwitchTime sim.Time
+}
+
+// counters is the live metric storage: typed obs cells, registered
+// with the machine's registry at construction and captured by value in
+// snapshots so scheduler accounting rewinds with the world.
+type counters struct {
+	slots      obs.Counter
+	switches   obs.Counter
+	switchTime obs.Gauge // simulated picoseconds spent switching
 }
 
 // Runner owns the processes of one machine and schedules them onto its
@@ -158,8 +170,13 @@ type Runner struct {
 	nextPID PID
 	current *Process
 	reports chan report
-	stats   Stats
+	ctr     counters
 	scratch []*Process // reused by runnable(); policies must not retain it
+
+	// tr is the obs trace spine (nil = tracing disabled, the zero-cost
+	// fast path); node is the cluster node id stamped on events.
+	tr   *obs.Trace
+	node int32
 }
 
 // RunnerConfig sets scheduling costs.
@@ -190,7 +207,27 @@ func NewRunner(c *cpu.CPU, cfg RunnerConfig) *Runner {
 func (r *Runner) CPU() *cpu.CPU { return r.cpu }
 
 // Stats returns a snapshot of the counters.
-func (r *Runner) Stats() Stats { return r.stats }
+func (r *Runner) Stats() Stats {
+	return Stats{
+		Slots:      r.ctr.slots.Value(),
+		Switches:   r.ctr.switches.Value(),
+		SwitchTime: sim.Time(r.ctr.switchTime.Value()),
+	}
+}
+
+// RegisterMetrics publishes the scheduler's counters in a registry.
+func (r *Runner) RegisterMetrics(reg *obs.Registry) {
+	reg.RegisterCounter("proc.slots", &r.ctr.slots)
+	reg.RegisterCounter("proc.switches", &r.ctr.switches)
+	reg.RegisterGauge("proc.switch_time_ps", &r.ctr.switchTime)
+}
+
+// SetTracer attaches (or, with nil, detaches) the obs trace spine.
+// Context switches are emitted as CatSched instants stamped with node.
+func (r *Runner) SetTracer(t *obs.Trace, node int32) {
+	r.tr = t
+	r.node = node
+}
 
 // AddSwitchHook appends a context-switch hook. In this model, adding a
 // hook IS "modifying the operating system kernel" — the paper's methods
@@ -388,7 +425,7 @@ func (r *Runner) dispatch(p *Process) {
 	if r.current != p {
 		r.contextSwitch(r.current, p)
 	}
-	r.stats.Slots++
+	r.ctr.slots.Inc()
 	before := r.cpu.Clock().Now()
 	p.slot <- true
 	rep := <-r.reports
@@ -424,7 +461,7 @@ func (r *Runner) runnable() []*Process {
 // switch hook (SHRIMP-2's abort would otherwise miss a half-initiation
 // still sitting in the buffer).
 func (r *Runner) contextSwitch(from, to *Process) {
-	r.stats.Switches++
+	r.ctr.switches.Inc()
 	before := r.cpu.Clock().Now()
 	if err := r.cpu.WriteBuffer().Drain(); err != nil {
 		// A store that faults at drain time would machine-check; in the
@@ -439,7 +476,15 @@ func (r *Runner) contextSwitch(from, to *Process) {
 	for _, h := range r.hooks {
 		h(from, to)
 	}
-	r.stats.SwitchTime += r.cpu.Clock().Now() - before
+	r.ctr.switchTime.Add(int64(r.cpu.Clock().Now() - before))
+	if r.tr != nil {
+		fromPID, toPID := PID(0), to.pid
+		if from != nil {
+			fromPID = from.pid
+		}
+		r.tr.Instant(r.cpu.Clock().Now(), obs.CatSched, "ctxswitch", r.node, int32(toPID),
+			uint64(fromPID), uint64(toPID), 0)
+	}
 	r.current = to
 }
 

@@ -23,7 +23,7 @@ type RunnerSnapshot struct {
 	current   *Process
 	hooks     int // switch-hook chain length at snapshot time
 	exitHooks int
-	stats     Stats
+	ctr       counters
 }
 
 // Snapshot captures the process list, PID counter, scheduling counters
@@ -42,7 +42,7 @@ func (r *Runner) Snapshot() (*RunnerSnapshot, error) {
 		current:   r.current,
 		hooks:     len(r.hooks),
 		exitHooks: len(r.exitHooks),
-		stats:     r.stats,
+		ctr:       r.ctr,
 	}
 	for i, p := range r.procs {
 		if p.as != nil {
@@ -91,7 +91,7 @@ func (r *Runner) Restore(s *RunnerSnapshot) error {
 	r.exitHooks = r.exitHooks[:s.exitHooks]
 	r.nextPID = s.nextPID
 	r.current = s.current
-	r.stats = s.stats
+	r.ctr = s.ctr
 	return nil
 }
 
@@ -112,6 +112,6 @@ func (r *Runner) Adopt(s *RunnerSnapshot) error {
 	r.procs = append(r.procs, s.procs...)
 	r.nextPID = s.nextPID
 	r.current = s.current
-	r.stats = s.stats
+	r.ctr = s.ctr
 	return nil
 }

@@ -3,6 +3,14 @@
 // analyzer: the tools use it to show exactly which uncached accesses an
 // initiation sequence generates (and in which order the engine saw
 // them), and tests use it to assert on access streams.
+//
+// Since the unified observability plane (internal/obs) arrived, the
+// Recorder is a thin adapter: events are stored in an obs.Trace with
+// DropNewest overflow (the recorder's historical "first N events"
+// contract) and converted back to the package's Event shape — window
+// annotation included — at read time. The public API, the rendered
+// timeline format and the drop accounting are unchanged
+// (TestRecorderObsEquivalence pins this).
 package trace
 
 import (
@@ -11,6 +19,7 @@ import (
 
 	"uldma/internal/bus"
 	"uldma/internal/dma"
+	"uldma/internal/obs"
 	"uldma/internal/phys"
 	"uldma/internal/sim"
 )
@@ -38,20 +47,15 @@ func (e Event) String() string {
 // once max events are recorded, further traffic is counted but not
 // stored (Dropped reports how many).
 type Recorder struct {
-	clock   *sim.Clock
-	max     int
-	events  []Event
-	dropped int
-	window  func(phys.Addr) string
+	clock  *sim.Clock
+	tr     *obs.Trace
+	window func(phys.Addr) string
 }
 
 // New creates a recorder holding at most max events (max <= 0 means
 // 4096). The clock provides timestamps.
 func New(clock *sim.Clock, max int) *Recorder {
-	if max <= 0 {
-		max = 4096
-	}
-	return &Recorder{clock: clock, max: max}
+	return &Recorder{clock: clock, tr: obs.NewTrace(max, obs.DropNewest)}
 }
 
 // AnnotateEngine makes the recorder label addresses with the engine
@@ -73,38 +77,47 @@ func (r *Recorder) AttachBus(b *bus.Bus) {
 func (r *Recorder) DetachBus(b *bus.Bus) { b.SetTrace(nil) }
 
 func (r *Recorder) record(op string, addr phys.Addr, size phys.AccessSize, val uint64) {
-	if len(r.events) >= r.max {
-		r.dropped++
-		return
-	}
-	e := Event{At: r.clock.Now(), Op: op, Addr: addr, Size: size, Val: val}
-	if r.window != nil {
-		e.Window = r.window(addr)
-	}
-	r.events = append(r.events, e)
+	// op is one of the bus's static hook strings; storing it as the
+	// event name keeps the hot path formatting-free.
+	r.tr.Instant(r.clock.Now(), obs.CatBus, op, 0, -1, uint64(addr), uint64(size), val)
 }
 
-// Events returns the recorded events in order.
-func (r *Recorder) Events() []Event { return r.events }
+// Events returns the recorded events in order. Window annotation is
+// applied at read time (the stored stream carries raw addresses).
+func (r *Recorder) Events() []Event {
+	raw := r.tr.Events()
+	out := make([]Event, len(raw))
+	for i, e := range raw {
+		ev := Event{
+			At:   e.At,
+			Op:   e.Name,
+			Addr: phys.Addr(e.A0),
+			Size: phys.AccessSize(e.A1),
+			Val:  e.A2,
+		}
+		if r.window != nil {
+			ev.Window = r.window(ev.Addr)
+		}
+		out[i] = ev
+	}
+	return out
+}
 
 // Dropped reports how many events did not fit.
-func (r *Recorder) Dropped() int { return r.dropped }
+func (r *Recorder) Dropped() int { return int(r.tr.Dropped()) }
 
 // Reset clears the recording.
-func (r *Recorder) Reset() {
-	r.events = r.events[:0]
-	r.dropped = 0
-}
+func (r *Recorder) Reset() { r.tr.Reset() }
 
 // Ops returns the op sequence as a compact string like "S S L" —
 // convenient for protocol assertions in tests.
 func (r *Recorder) Ops() string {
 	var b strings.Builder
-	for i, e := range r.events {
+	for i, e := range r.tr.Events() {
 		if i > 0 {
 			b.WriteByte(' ')
 		}
-		switch e.Op {
+		switch e.Name {
 		case "store":
 			b.WriteByte('S')
 		case "load":
@@ -121,12 +134,12 @@ func (r *Recorder) Ops() string {
 // Render formats the whole timeline, one event per line.
 func (r *Recorder) Render() string {
 	var b strings.Builder
-	for _, e := range r.events {
+	for _, e := range r.Events() {
 		b.WriteString(e.String())
 		b.WriteByte('\n')
 	}
-	if r.dropped > 0 {
-		fmt.Fprintf(&b, "... %d further events dropped (recorder full)\n", r.dropped)
+	if d := r.tr.Dropped(); d > 0 {
+		fmt.Fprintf(&b, "... %d further events dropped (recorder full)\n", d)
 	}
 	return b.String()
 }

@@ -6,6 +6,7 @@ import (
 
 	userdma "uldma/internal/core"
 	"uldma/internal/dma"
+	"uldma/internal/obs"
 	"uldma/internal/proc"
 	"uldma/internal/sim"
 	"uldma/internal/vm"
@@ -159,5 +160,67 @@ func TestWindowOfNames(t *testing.T) {
 	}
 	if cfg.WindowOf(0x1000) != "" {
 		t.Fatal("plain memory misclassified")
+	}
+}
+
+// TestRecorderObsEquivalence pins the adapter contract: the legacy
+// Recorder is a view over an obs.Trace, so the access stream it reports
+// must appear, event for event — same instants, same ops, same
+// addresses and values — in the machine's own obs spine when both
+// record the same run.
+func TestRecorderObsEquivalence(t *testing.T) {
+	method := userdma.ExtShadow{}
+	m := userdma.Machine(method)
+	spine := m.EnableTrace(4096, obs.Ring)
+	rec := New(m.Clock, 64)
+	rec.AnnotateEngine(m.Engine.Config())
+
+	var h *userdma.Handle
+	p := m.NewProcess("traced", func(c *proc.Context) error {
+		rec.AttachBus(m.Bus)
+		_, err := h.DMA(c, 0x10000, 0x20000, 64)
+		rec.DetachBus(m.Bus)
+		return err
+	})
+	var err error
+	if h, err = method.Attach(m, p); err != nil {
+		t.Fatal(err)
+	}
+	m.SetupPages(p, 0x10000, 1, vm.Read|vm.Write)
+	m.SetupPages(p, 0x20000, 1, vm.Read|vm.Write)
+	if err := m.Run(proc.NewRoundRobin(8), 10_000); err != nil {
+		t.Fatal(err)
+	}
+	if p.Err() != nil {
+		t.Fatal(p.Err())
+	}
+
+	legacy := rec.Events()
+	if len(legacy) == 0 {
+		t.Fatal("recorder saw no traffic")
+	}
+	// Every recorder event must match a spine CatBus event in order
+	// (the spine records the whole run; the recorder a sub-interval).
+	spineBus := []obs.Event{}
+	for _, e := range spine.Events() {
+		if e.Cat == obs.CatBus {
+			spineBus = append(spineBus, e)
+		}
+	}
+	j := 0
+	for _, le := range legacy {
+		found := false
+		for ; j < len(spineBus); j++ {
+			se := spineBus[j]
+			if se.At == le.At && se.Name == le.Op &&
+				se.A0 == uint64(le.Addr) && se.A1 == uint64(le.Size) && se.A2 == le.Val {
+				found = true
+				j++
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("recorder event %v has no ordered match in the obs spine", le)
+		}
 	}
 }
