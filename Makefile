@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench ci baseline baseline-fault golden trace-golden statslint benchdiff profile
+.PHONY: all build vet test race bench ci baseline baseline-fault baseline-scale shardparity golden trace-golden statslint benchdiff profile
 
 all: ci
 
@@ -43,7 +43,15 @@ statslint:
 bench:
 	$(GO) test -bench . -benchmem -run XXX ./internal/sim ./internal/vm ./internal/bus ./internal/machine ./...
 
-ci: build vet statslint race benchdiff
+# The sharded engine's determinism contract, run under the race
+# detector: the same world must produce an identical fingerprint and
+# observation for every shard count and worker count. `race` covers
+# these too via ./...; the named target keeps the contract visible and
+# lets CI fail fast on the one invariant the whole PR hangs off.
+shardparity:
+	$(GO) test -race -run 'TestShardEquivalence|TestShardSnapshotRestore|TestScaleShardParity' ./internal/net ./internal/exp
+
+ci: build vet statslint shardparity race benchdiff
 
 # Regenerate the perf-trajectory snapshot (raw simulated picoseconds;
 # byte-identical for any -procs value).
@@ -57,6 +65,15 @@ baseline:
 # one side are reported as added/removed, never as failures.
 baseline-fault:
 	$(GO) run ./cmd/faultsim -json > BENCH_fault.json
+
+# Regenerate the scale snapshot: the 1000-node NOW (>= 10^6 link
+# deliveries) timed at shards {1,4,8}. The Scale section is exact
+# simulated time; the Bench section's Host* leaves (wall ns, host
+# events/sec, core count) measure THIS machine and are the one
+# deliberately non-reproducible part of any snapshot — cmd/benchdiff
+# prints them informationally and never flags them.
+baseline-scale:
+	$(GO) run ./cmd/clustersim -scale -bench -json -nodes 1000 -arrival 55000 -ms 10 > BENCH_scale.json
 
 # Compare the current model's simulated-time numbers against the
 # committed baseline snapshot. Every value is exact simulated time, so

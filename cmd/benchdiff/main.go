@@ -20,7 +20,10 @@
 // Leaves present on only one side — a new experiment in the current
 // document, or a section retired from it — are listed as added/removed
 // and are never fatal: growing or pruning the benchmark surface is a
-// deliberate act, not a regression.
+// deliberate act, not a regression. Leaves whose final key starts with
+// "Host" (HostNs, HostEventsPerSec, HostCPUs — the wall-clock shard
+// ladder from `clustersim -scale -bench`) are informational: printed
+// when they move, never flagged, never fatal.
 package main
 
 import (
@@ -96,11 +99,23 @@ func run(args []string, iters, procs int, tol float64, fatal bool) error {
 	}
 	sort.Strings(ordered)
 
-	flagged, same, added, removed := 0, 0, 0, 0
+	flagged, same, added, removed, host := 0, 0, 0, 0, 0
 	for _, p := range ordered {
 		b, inB := bleaves[p]
 		c, inC := cleaves[p]
 		switch {
+		case hostLeaf(p):
+			// Host-clock leaves (HostNs, HostEventsPerSec, HostCPUs from
+			// `clustersim -scale -bench`) measure THIS machine, not the
+			// model: they move with load, governor state and core count.
+			// Reported for the record, never flagged, never fatal.
+			switch {
+			case inB && inC && b != c:
+				fmt.Printf("i %-60s %15.0f -> %15.0f  (host clock, informational)\n", p, b, c)
+			case inB != inC:
+				fmt.Printf("i %-60s %15.0f (host clock, one side only)\n", p, c+b)
+			}
+			host++
 		case !inB:
 			// A leaf only the current document has: a new experiment or
 			// column, not a regression. Reported, never fatal.
@@ -126,12 +141,27 @@ func run(args []string, iters, procs int, tol float64, fatal bool) error {
 			same++
 		}
 	}
-	fmt.Printf("benchdiff vs %s: %d leaves compared, %d flagged, %d unchanged, %d added, %d removed\n",
-		basePath, len(ordered), flagged, same, added, removed)
+	fmt.Printf("benchdiff vs %s: %d leaves compared, %d flagged, %d unchanged, %d added, %d removed, %d host-clock\n",
+		basePath, len(ordered), flagged, same, added, removed, host)
 	if flagged > 0 && fatal {
 		return fmt.Errorf("%d leaves differ", flagged)
 	}
 	return nil
+}
+
+// hostLeaf reports whether a dotted path names a host-wall-clock leaf:
+// its final key segment starts with "Host". Those come from the -bench
+// shard ladder and are the one deliberately machine-dependent section
+// of any snapshot.
+func hostLeaf(path string) bool {
+	last := path
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '.' || path[i] == ']' {
+			last = path[i+1:]
+			break
+		}
+	}
+	return len(last) >= 4 && last[:4] == "Host"
 }
 
 func load(path string, into *map[string]any) error {

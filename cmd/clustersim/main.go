@@ -10,6 +10,16 @@
 // method, fanned out on -procs worker goroutines with byte-identical
 // output for any worker count. -json emits the table as raw simulated
 // picoseconds.
+//
+// -scale switches to the "scale" experiment instead: a 1000-node-class
+// NOW on the sharded parallel engine (net.ShardedCluster), driven by an
+// open-loop multi-tenant user-level DMA RPC generator. -nodes, -shards,
+// -arrival, -tenants, -bytes and -ms size the world; -procs becomes the
+// INTRA-world shard worker count (output is byte-identical for every
+// value). -bench additionally times the same world at shards {1,4,8}
+// on this host's wall clock and reports host events/sec — the one
+// deliberately non-reproducible section (cmd/benchdiff treats those
+// leaves as informational).
 package main
 
 import (
@@ -17,8 +27,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"uldma/internal/exp"
+	"uldma/internal/sim"
 )
 
 func main() {
@@ -26,9 +39,19 @@ func main() {
 	size := flag.Uint64("size", 256, "message payload bytes")
 	gigabit := flag.Bool("gigabit", true, "use the Gigabit link preset (else ATM-155)")
 	hist := flag.Bool("hist", false, "print per-method latency histograms")
-	procs := flag.Int("procs", 0, "worker goroutines for independent cluster worlds (0 = GOMAXPROCS)")
+	procs := flag.Int("procs", 0, "worker goroutines (cell fan-out; with -scale: intra-world shard workers; 0 = GOMAXPROCS)")
 	jsonOut := flag.Bool("json", false, "emit results as one JSON document (raw simulated picoseconds)")
 	list := flag.Bool("list", false, "list the registered experiments and exit")
+
+	scale := flag.Bool("scale", false, "run the sharded NOW scale experiment instead of the two-node comparison")
+	nodes := flag.Int("nodes", 32, "scale: cluster size (>= 2)")
+	shards := flag.Int("shards", 4, "scale: shard count (1..nodes)")
+	arrival := flag.Int("arrival", 20000, "scale: per-node RPC arrival rate, RPCs/s (> 0)")
+	tenants := flag.Int("tenants", 2, "scale: arrival streams per node (> 0)")
+	bytes := flag.Uint64("bytes", 64, "scale: request payload bytes")
+	ms := flag.Int("ms", 2, "scale: arrival-window length, simulated milliseconds (> 0)")
+	seed := flag.Uint64("seed", 1, "scale: world seed")
+	bench := flag.Bool("bench", false, "scale: time the world at shards {1,4,8} and report host events/sec (JSON)")
 	flag.Parse()
 	stop, err := exp.StartProfiles()
 	if err != nil {
@@ -40,7 +63,21 @@ func main() {
 		fmt.Print(exp.List())
 		return
 	}
-	if err := run(*msgs, *size, !*gigabit, *hist, *procs, *jsonOut); err != nil {
+	if *scale {
+		p := exp.Params{
+			Nodes: *nodes, Shards: *shards, Arrival: *arrival, Tenants: *tenants,
+			ScaleBytes: *bytes, ScaleDur: sim.Time(*ms) * sim.Millisecond,
+			ScaleSeed: *seed, Procs: *procs,
+		}
+		if err := validateScale(*nodes, *shards, *arrival, *tenants, *ms); err != nil {
+			fmt.Fprintln(os.Stderr, "clustersim:", err)
+			exp.Exit(2)
+		}
+		if err := runScale(p, *jsonOut, *bench); err != nil {
+			fmt.Fprintln(os.Stderr, "clustersim:", err)
+			exp.Exit(1)
+		}
+	} else if err := run(*msgs, *size, !*gigabit, *hist, *procs, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "clustersim:", err)
 		exp.Exit(1)
 	}
@@ -50,12 +87,39 @@ func main() {
 	}
 }
 
+// validateScale rejects nonsense scale configurations up front with
+// flag-level messages (the experiment validates again underneath).
+func validateScale(nodes, shards, arrival, tenants, ms int) error {
+	switch {
+	case nodes < 2:
+		return fmt.Errorf("-nodes %d: the scale workload needs at least 2 nodes", nodes)
+	case shards < 1:
+		return fmt.Errorf("-shards %d: need at least 1 shard", shards)
+	case shards > nodes:
+		return fmt.Errorf("-shards %d exceeds -nodes %d: a shard must own at least one node", shards, nodes)
+	case arrival <= 0:
+		return fmt.Errorf("-arrival %d: the RPC arrival rate must be positive", arrival)
+	case tenants < 1:
+		return fmt.Errorf("-tenants %d: need at least 1 tenant stream per node", tenants)
+	case ms <= 0:
+		return fmt.Errorf("-ms %d: the arrival window must be positive", ms)
+	}
+	return nil
+}
+
 // clusterJSON is the -json document.
 type clusterJSON struct {
 	Link    string
 	Msgs    int
 	MsgSize uint64
 	Rows    []exp.ClusterRow
+}
+
+// scaleJSON is the -scale -json document. Scale holds the configured
+// run; Bench (with -bench) holds the host-timed shard ladder.
+type scaleJSON struct {
+	Scale []exp.ScaleRow
+	Bench []exp.ScaleRow `json:",omitempty"`
 }
 
 func run(msgs int, size uint64, atm, hist bool, procs int, jsonOut bool) error {
@@ -80,4 +144,61 @@ func run(msgs int, size uint64, atm, hist bool, procs int, jsonOut bool) error {
 	}
 	fmt.Print(s)
 	return nil
+}
+
+func runScale(p exp.Params, jsonOut, bench bool) error {
+	r, err := exp.RunNamed("scale", p)
+	if err != nil {
+		return err
+	}
+	if !jsonOut && !bench {
+		s, err := exp.RenderNamed("scale", exp.Text, r, p)
+		if err != nil {
+			return err
+		}
+		fmt.Print(s)
+		return nil
+	}
+	doc := scaleJSON{Scale: exp.ScaleRows(r)}
+	if bench {
+		rows, err := benchScale(p)
+		if err != nil {
+			return err
+		}
+		doc.Bench = rows
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// benchScale times the SAME world at shards {1,4,8} (skipping counts
+// above -nodes) with workers = shard count, and stamps each row with
+// this host's wall time and events/sec. The simulated results are
+// byte-identical across the ladder — only the Host* fields vary, and
+// they vary with the machine: events/sec scales with shard count only
+// up to the host's core count (HostCPUs records it).
+func benchScale(p exp.Params) ([]exp.ScaleRow, error) {
+	var rows []exp.ScaleRow
+	for _, shards := range []int{1, 4, 8} {
+		if shards > p.Nodes {
+			continue
+		}
+		bp := p
+		bp.Shards = shards
+		start := time.Now()
+		pt, err := exp.RunScale(bp, shards)
+		if err != nil {
+			return nil, err
+		}
+		wall := time.Since(start)
+		row := exp.ScaleRowOf(pt)
+		row.HostNs = wall.Nanoseconds()
+		if wall > 0 {
+			row.HostEventsPerSec = float64(pt.Events) / wall.Seconds()
+		}
+		row.HostCPUs = runtime.NumCPU()
+		rows = append(rows, row)
+	}
+	return rows, nil
 }

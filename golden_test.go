@@ -59,6 +59,24 @@ func runTool(t *testing.T, dir, tool string, args ...string) []byte {
 	return stdout.Bytes()
 }
 
+// runToolErr runs a tool expected to FAIL, returning its exit code and
+// stderr. A clean exit is itself a test failure.
+func runToolErr(t *testing.T, dir, tool string, args ...string) (int, string) {
+	t.Helper()
+	var stderr bytes.Buffer
+	cmd := exec.Command(filepath.Join(dir, tool), args...)
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	if err == nil {
+		t.Fatalf("%s %v: expected a non-zero exit", tool, args)
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("%s %v: %v", tool, args, err)
+	}
+	return ee.ExitCode(), stderr.String()
+}
+
 // goldenCases is the pinned (tool, flags) -> file matrix. The flags
 // deliberately use non-default counts so regeneration stays cheap.
 var goldenCases = []struct {
@@ -76,6 +94,11 @@ var goldenCases = []struct {
 	{"oslat.txt", "oslat", []string{"-iters", "1000"}},
 	{"faultsim.txt", "faultsim", []string{"-msgs", "8", "-seeds", "2", "-depth", "3"}},
 	{"faultsim.json", "faultsim", []string{"-msgs", "8", "-seeds", "2", "-depth", "3", "-json"}},
+	// The default sharded-NOW world. For -scale, the -procs re-run below
+	// varies the INTRA-world shard worker count — the bytes must still
+	// match, which pins the parallel engine's determinism contract at the
+	// tool level.
+	{"clustersim_scale.txt", "clustersim", []string{"-scale"}},
 }
 
 // TestGolden pins the rendered output of every tool: text, markdown and
@@ -139,6 +162,9 @@ func TestSmoke(t *testing.T) {
 		{"faultsim", "faultsim", []string{"-msgs", "4", "-seeds", "2", "-depth", "2"}, "Reliable channel under loss"},
 		{"faultsim-list", "faultsim", []string{"-list"}, "faultsweep"},
 		{"faultsim-json", "faultsim", []string{"-msgs", "4", "-seeds", "2", "-depth", "2", "-json", "-procs", "2"}, "\"Sweep\""},
+		{"clustersim-scale", "clustersim", []string{"-scale", "-nodes", "16", "-shards", "2", "-ms", "1"}, "goodput"},
+		{"clustersim-scale-json", "clustersim", []string{"-scale", "-json", "-nodes", "16", "-shards", "2", "-ms", "1", "-procs", "2"}, "\"Shards\""},
+		{"clustersim-scale-bench", "clustersim", []string{"-scale", "-bench", "-nodes", "16", "-shards", "2", "-ms", "1"}, "\"HostCPUs\""},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -146,6 +172,38 @@ func TestSmoke(t *testing.T) {
 			out := runTool(t, dir, tc.tool, tc.args...)
 			if !bytes.Contains(out, []byte(tc.want)) {
 				t.Fatalf("%s %v output lacks %q:\n%s", tc.tool, tc.args, tc.want, out)
+			}
+		})
+	}
+}
+
+// TestScaleFlagRejection pins the -scale frontend's failure paths: a
+// nonsense world must die with exit status 2 and a flag-level message,
+// before any simulation spins up.
+func TestScaleFlagRejection(t *testing.T) {
+	dir := buildTools(t)
+	cases := []struct {
+		name string
+		args []string
+		want string // substring the stderr diagnostic must contain
+	}{
+		{"shards-above-nodes", []string{"-scale", "-nodes", "8", "-shards", "9"}, "-shards 9 exceeds -nodes 8"},
+		{"zero-arrival", []string{"-scale", "-arrival", "0"}, "-arrival 0"},
+		{"negative-arrival", []string{"-scale", "-arrival", "-5"}, "-arrival -5"},
+		{"one-node", []string{"-scale", "-nodes", "1"}, "at least 2 nodes"},
+		{"zero-shards", []string{"-scale", "-shards", "0"}, "-shards 0"},
+		{"zero-tenants", []string{"-scale", "-tenants", "0"}, "-tenants 0"},
+		{"zero-window", []string{"-scale", "-ms", "0"}, "-ms 0"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			code, stderr := runToolErr(t, dir, "clustersim", tc.args...)
+			if code != 2 {
+				t.Fatalf("clustersim %v exited %d, want 2\n%s", tc.args, code, stderr)
+			}
+			if !bytes.Contains([]byte(stderr), []byte(tc.want)) {
+				t.Fatalf("clustersim %v stderr lacks %q:\n%s", tc.args, tc.want, stderr)
 			}
 		})
 	}

@@ -65,6 +65,14 @@ type Params struct {
 	MsgSize uint64 // clustersim: payload bytes
 	ATM     bool   // clustersim: ATM-155 link preset instead of Gigabit
 	Hist    bool   // clustersim: render per-method latency histograms
+
+	Nodes      int      // scale: cluster size (0 = 32)
+	Shards     int      // scale: partition width (0 = 4)
+	Arrival    int      // scale: per-node RPC arrival rate, RPCs/s (0 = 20000)
+	Tenants    int      // scale: arrival streams per node (0 = 2)
+	ScaleBytes uint64   // scale: request payload bytes (0 = 64)
+	ScaleDur   sim.Time // scale: arrival-window length (0 = 2ms)
+	ScaleSeed  uint64   // scale: world seed (0 = 1)
 }
 
 func (p Params) freqs() []sim.Hz {
@@ -97,6 +105,7 @@ type Obs struct {
 	Fault  []FaultPoint               // faultsweep cells
 	Recov  []RecoveryPoint            // recovery cells
 	Search []FaultSearchPoint         // faultsearch cells
+	Scale  []ScalePoint               // scale cells (sharded NOW runs)
 }
 
 // Row is one generic latency-table row produced by the OS and cluster
@@ -197,6 +206,15 @@ func (r *Result) RecoveryPoints() []RecoveryPoint {
 	var out []RecoveryPoint
 	for _, c := range r.Cells {
 		out = append(out, c.Obs.Recov...)
+	}
+	return out
+}
+
+// ScalePoints flattens the scale observations in cell order.
+func (r *Result) ScalePoints() []ScalePoint {
+	var out []ScalePoint
+	for _, c := range r.Cells {
+		out = append(out, c.Obs.Scale...)
 	}
 	return out
 }

@@ -6,6 +6,8 @@ package exp
 // format the tools have always emitted — keep them stable.
 
 import (
+	"fmt"
+
 	userdma "uldma/internal/core"
 	"uldma/internal/dma"
 	"uldma/internal/machine"
@@ -201,6 +203,66 @@ func FaultSearchRows(r *Result) []FaultSearchRow {
 		out = append(out, FaultSearchRow{
 			Label: pt.Label, Seed: pt.Seed, Schedules: pt.Schedules, Violation: pt.Violation,
 		})
+	}
+	return out
+}
+
+// ScaleRow is one sharded-NOW scale run as the tools serialise it.
+// The simulated-time fields are exact integers safe to byte-compare;
+// the Host* fields are wall-clock measurements of THIS host (filled
+// only by clustersim -bench) and are never expected to reproduce —
+// cmd/benchdiff treats every Host*-prefixed leaf as informational.
+// Fingerprint is serialised as a hex string so no JSON reader rounds
+// it through a float64.
+type ScaleRow struct {
+	Label   string
+	Nodes   int
+	Shards  int
+	Arrival int
+	Tenants int
+	Bytes   uint64
+	DurPs   int64
+
+	Issued      uint64
+	Completed   uint64
+	MeanPs      int64
+	P50Ps       int64
+	P99Ps       int64
+	GoodputMBps float64
+	GoodputRPCs float64
+	Deliveries  uint64
+	Events      uint64
+	Windows     uint64
+	FinishPs    int64
+	Fingerprint string
+
+	HostNs           int64   `json:",omitempty"`
+	HostEventsPerSec float64 `json:",omitempty"`
+	HostCPUs         int     `json:",omitempty"`
+}
+
+// ScaleRowOf converts one ScalePoint to its wire row.
+func ScaleRowOf(pt ScalePoint) ScaleRow {
+	return ScaleRow{
+		Label: fmt.Sprintf("%dn/%ds", pt.Nodes, pt.Shards),
+		Nodes: pt.Nodes, Shards: pt.Shards,
+		Arrival: pt.Arrival, Tenants: pt.Tenants,
+		Bytes: pt.Bytes, DurPs: int64(pt.Dur),
+
+		Issued: pt.Issued, Completed: pt.Completed,
+		MeanPs: int64(pt.Mean), P50Ps: int64(pt.P50), P99Ps: int64(pt.P99),
+		GoodputMBps: pt.GoodputMBps, GoodputRPCs: pt.GoodputRPCs,
+		Deliveries: pt.Deliveries, Events: pt.Events, Windows: pt.Windows,
+		FinishPs:    int64(pt.Finish),
+		Fingerprint: fmt.Sprintf("%016x", pt.Fingerprint),
+	}
+}
+
+// ScaleRows converts a scale result into wire rows.
+func ScaleRows(r *Result) []ScaleRow {
+	var out []ScaleRow
+	for _, pt := range r.ScalePoints() {
+		out = append(out, ScaleRowOf(pt))
 	}
 	return out
 }

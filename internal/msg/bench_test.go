@@ -1,0 +1,110 @@
+package msg
+
+// Host-speed pins for the reliable sender's retransmit timer (ROADMAP
+// "host-speed pass" item): the arm/reset state machine runs on EVERY
+// Send/Flush wait iteration of every reliable channel in every fault
+// sweep, so it must not allocate. The benchmark exercises the full
+// credit -> expiry -> backoff -> re-arm cycle; the test asserts the
+// 0 allocs/op pin the benchmark reports.
+
+import (
+	"testing"
+
+	"uldma/internal/sim"
+)
+
+// benchSender builds a bare RSender with only the timer-relevant state
+// populated — the timer machinery touches nothing else.
+func benchSender() *RSender {
+	cfg := ReliableConfig{}
+	cfg.fill()
+	return &RSender{cfg: cfg}
+}
+
+// pumpTimer drives one full timer cycle at time now: fold in a credit
+// word, fire a backoff round if the deadline passed, re-arm on a new
+// first unacked message. Mirrors the call pattern of pump + Send.
+func pumpTimer(s *RSender, credited uint64, now sim.Time) {
+	s.noteCredit(credited, now)
+	if s.timerExpired(now) {
+		s.backoffTimer(now)
+	}
+	if s.sent-s.credited == 1 {
+		s.armTimer(now)
+	}
+}
+
+func BenchmarkRSenderTimerPump(b *testing.B) {
+	s := benchSender()
+	s.sent = 1
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		now := sim.Time(i) * sim.Microsecond
+		// Alternate stall (credit stuck, timer expires and backs off)
+		// with progress (credit advances, timer re-arms).
+		if i%4 == 3 {
+			s.sent++
+			pumpTimer(s, s.sent-1, now)
+		} else {
+			pumpTimer(s, s.credited, now)
+		}
+	}
+}
+
+func TestRSenderTimerPumpZeroAlloc(t *testing.T) {
+	s := benchSender()
+	s.sent = 1
+	var now sim.Time
+	var i int
+	allocs := testing.AllocsPerRun(1000, func() {
+		now += sim.Microsecond
+		i++
+		if i%4 == 3 {
+			s.sent++
+			pumpTimer(s, s.sent-1, now)
+		} else {
+			pumpTimer(s, s.credited, now)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("retransmit timer pump allocates %.1f allocs/op, pinned at 0", allocs)
+	}
+}
+
+// The timer state machine itself must behave: arm, expire, back off
+// with the cap, reset on credit.
+func TestRetransmitTimerMachine(t *testing.T) {
+	s := benchSender()
+	s.sent = 1
+	s.armTimer(0)
+	if s.rto != s.cfg.RTO || s.deadline != s.cfg.RTO || s.tries != 0 {
+		t.Fatalf("armTimer: rto=%v deadline=%v tries=%d", s.rto, s.deadline, s.tries)
+	}
+	if s.timerExpired(s.deadline - 1) {
+		t.Fatal("timer expired before its deadline")
+	}
+	if !s.timerExpired(s.deadline) {
+		t.Fatal("timer not expired at its deadline")
+	}
+	// Backoff doubles up to the cap.
+	for i := 0; i < 20; i++ {
+		s.backoffTimer(s.deadline)
+	}
+	if s.rto != s.cfg.MaxRTO {
+		t.Fatalf("rto=%v after sustained backoff, want cap %v", s.rto, s.cfg.MaxRTO)
+	}
+	// A stale (non-advancing) credit must not reset the backoff...
+	rto := s.rto
+	s.noteCredit(0, s.deadline)
+	if s.rto != rto {
+		t.Fatal("stale credit reset the backoff")
+	}
+	// ...but forward progress re-arms from scratch.
+	s.noteCredit(1, s.deadline)
+	if s.rto != s.cfg.RTO || s.credited != 1 {
+		t.Fatalf("credit advance: rto=%v credited=%d, want fresh RTO and 1", s.rto, s.credited)
+	}
+	if s.timerExpired(s.deadline) {
+		t.Fatal("timer expired with nothing in flight")
+	}
+}

@@ -276,6 +276,46 @@ func checksum(seq uint64, data []byte) uint64 {
 	return mix64(h ^ uint64(len(data)))
 }
 
+// The retransmit timer is a tiny pure state machine over (credited,
+// sent, rto, deadline, tries) — split out of pump so the arm/reset
+// path is directly benchmarkable: it runs on EVERY Send/Flush wait
+// iteration of every reliable channel, so it must stay at 0 allocs/op
+// (BenchmarkRSenderTimerPump asserts the pin).
+
+// armTimer starts a fresh retransmit timer: first unacked message in
+// flight, initial RTO, no rounds burned.
+func (s *RSender) armTimer(now sim.Time) {
+	s.tries = 0
+	s.rto = s.cfg.RTO
+	s.deadline = now + s.rto
+}
+
+// noteCredit folds a newly read credit word into the timer state.
+// Monotonic: a reordered stale credit must not regress the ack. Any
+// forward progress re-arms the timer from scratch.
+func (s *RSender) noteCredit(credited uint64, now sim.Time) {
+	if credited > s.credited {
+		s.credited = credited
+		s.armTimer(now)
+	}
+}
+
+// timerExpired reports whether the retransmit deadline has passed with
+// messages still unacknowledged.
+func (s *RSender) timerExpired(now sim.Time) bool {
+	return s.credited < s.sent && now >= s.deadline
+}
+
+// backoffTimer doubles the timeout after a retransmit round, capped at
+// MaxRTO, and re-arms the deadline.
+func (s *RSender) backoffTimer(now sim.Time) {
+	s.rto *= 2
+	if s.rto > s.cfg.MaxRTO {
+		s.rto = s.cfg.MaxRTO
+	}
+	s.deadline = now + s.rto
+}
+
 // pump runs the sender's ack/timer machinery: it polls the credit word
 // (the cumulative ack), and when the retransmit deadline passes with
 // messages still unacknowledged it go-back-N retransmits them and
@@ -286,18 +326,9 @@ func (s *RSender) pump(c *proc.Context) error {
 	if err != nil {
 		return err
 	}
-	// Monotonic: a reordered stale credit must not regress the ack.
-	if credited > s.credited {
-		s.credited = credited
-		s.tries = 0
-		s.rto = s.cfg.RTO
-		s.deadline = s.clock.Now() + s.rto
-	}
-	if s.credited >= s.sent {
-		return nil // nothing in flight, no timer armed
-	}
-	if s.clock.Now() < s.deadline {
-		return nil
+	s.noteCredit(credited, s.clock.Now())
+	if !s.timerExpired(s.clock.Now()) {
+		return nil // all acked, or the deadline is still in the future
 	}
 	s.tries++
 	if s.tries > s.cfg.MaxRetries {
@@ -319,11 +350,7 @@ func (s *RSender) pump(c *proc.Context) error {
 				int32(s.sm.NodeID), -1, seq, 0, 0)
 		}
 	}
-	s.rto *= 2
-	if s.rto > s.cfg.MaxRTO {
-		s.rto = s.cfg.MaxRTO
-	}
-	s.deadline = s.clock.Now() + s.rto
+	s.backoffTimer(s.clock.Now())
 	return nil
 }
 
@@ -404,9 +431,7 @@ func (s *RSender) Send(c *proc.Context, data []byte) error {
 	s.sent++
 	if s.sent-s.credited == 1 {
 		// First unacked message: arm a fresh timer.
-		s.tries = 0
-		s.rto = s.cfg.RTO
-		s.deadline = s.clock.Now() + s.rto
+		s.armTimer(s.clock.Now())
 	}
 	s.stats.Messages++
 	s.stats.Bytes += uint64(len(data))

@@ -1,0 +1,62 @@
+package obs
+
+import "sort"
+
+// MergeEvents merges per-shard trace spines into one timeline under a
+// total order that depends only on event CONTENT, never on which shard
+// recorded an event or in what order the streams are passed. That is
+// the property the sharded cluster engine needs: re-partitioning the
+// same world across a different shard count redistributes identical
+// events across different spines, and the merged timeline — and any
+// Perfetto export rendered from it — must come out byte-identical.
+//
+// Each input stream must already be in emission order (which Trace
+// .Events guarantees); the merge is a stable sort of the concatenation,
+// so equal events keep their stream-relative order as the final
+// tie-break.
+func MergeEvents(streams ...[]Event) []Event {
+	n := 0
+	for _, s := range streams {
+		n += len(s)
+	}
+	out := make([]Event, 0, n)
+	for _, s := range streams {
+		out = append(out, s...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return eventLess(&out[i], &out[j])
+	})
+	return out
+}
+
+// eventLess is the canonical total order on trace events: timestamp
+// first, then every remaining field in declaration order. Comparing
+// all fields (not just At) is what makes the order total up to exact
+// duplicates, so the merged output cannot depend on shard layout.
+func eventLess(a, b *Event) bool {
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	if a.Node != b.Node {
+		return a.Node < b.Node
+	}
+	if a.PID != b.PID {
+		return a.PID < b.PID
+	}
+	if a.Cat != b.Cat {
+		return a.Cat < b.Cat
+	}
+	if a.Dur != b.Dur {
+		return a.Dur < b.Dur
+	}
+	if a.Name != b.Name {
+		return a.Name < b.Name
+	}
+	if a.A0 != b.A0 {
+		return a.A0 < b.A0
+	}
+	if a.A1 != b.A1 {
+		return a.A1 < b.A1
+	}
+	return a.A2 < b.A2
+}

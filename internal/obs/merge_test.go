@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+
+	"uldma/internal/sim"
+)
+
+func mkEvent(at sim.Time, node int32, name string, a0 uint64) Event {
+	return Event{At: at, Cat: CatLink, Name: name, Node: node, PID: -1, A0: a0}
+}
+
+// The merged timeline must not depend on how events were dealt to
+// streams: any partition of the same multiset merges identically.
+func TestMergeEventsLayoutInvariant(t *testing.T) {
+	all := []Event{
+		mkEvent(10, 2, "land", 7),
+		mkEvent(10, 1, "land", 3),
+		mkEvent(5, 0, "land", 1),
+		mkEvent(10, 1, "land", 9),
+		mkEvent(20, 3, "land", 2),
+	}
+	one := MergeEvents(all)
+
+	// Deal the same events into three streams by round-robin, keeping
+	// each stream time-sorted (as Trace.Events would).
+	var s0, s1, s2 []Event
+	s0 = []Event{mkEvent(5, 0, "land", 1), mkEvent(10, 1, "land", 9)}
+	s1 = []Event{mkEvent(10, 2, "land", 7), mkEvent(20, 3, "land", 2)}
+	s2 = []Event{mkEvent(10, 1, "land", 3)}
+	many := MergeEvents(s0, s1, s2)
+
+	if !reflect.DeepEqual(one, many) {
+		t.Fatalf("merge depends on stream layout:\none stream: %+v\nthree streams: %+v", one, many)
+	}
+	for i := 1; i < len(many); i++ {
+		if eventLess(&many[i], &many[i-1]) {
+			t.Fatalf("merged output not sorted at %d: %+v after %+v", i, many[i], many[i-1])
+		}
+	}
+}
+
+func TestMergeEventsEmpty(t *testing.T) {
+	if got := MergeEvents(); len(got) != 0 {
+		t.Fatalf("MergeEvents() = %v, want empty", got)
+	}
+	if got := MergeEvents(nil, nil); len(got) != 0 {
+		t.Fatalf("MergeEvents(nil, nil) = %v, want empty", got)
+	}
+}

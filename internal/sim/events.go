@@ -147,6 +147,22 @@ func (q *EventQueue) NextAt() Time {
 	return q.h[0].At
 }
 
+// Step pops and fires exactly the earliest pending event, returning
+// its timestamp. It reports false (firing nothing) on an empty queue.
+// The sharded engine drives shards one event at a time so it can
+// advance the shard clock to each event and count fired events for the
+// host-throughput metric; RunUntil remains the single-world fast path.
+func (q *EventQueue) Step() (Time, bool) {
+	if len(q.h) == 0 {
+		return Never, false
+	}
+	e := heap.Pop(&q.h).(*Event)
+	fire, at := e.Fire, e.At
+	q.release(e) // recycle before firing: fire may reschedule
+	fire(at)
+	return at, true
+}
+
 // RunUntil fires, in order, every event with At <= t. Events fired may
 // schedule further events; those are honoured within the same call if
 // they also fall at or before t.

@@ -1,0 +1,102 @@
+package sim
+
+// Shard is one independently-advancing slice of a partitioned simulation:
+// its own clock and its own event queue. A sharded world assigns each
+// node to exactly one shard; inside a synchronizer-granted safe window
+// the shard fires its events with no coordination, which is what lets a
+// cluster simulation use every host core while each shard stays
+// single-goroutine and bit-for-bit deterministic.
+//
+// Shard deliberately does NOT own an RNG: random streams must be
+// per-NODE (split from the world seed by node index), never per-shard,
+// or re-partitioning the same world across a different shard count
+// would re-deal the streams and break shard-count invariance.
+type Shard struct {
+	// ID is the shard's index in the world's fixed shard order. Barriers
+	// drain shard outboxes in ascending ID, which is one of the two
+	// orderings (with per-source sequence numbers) that make the merged
+	// run independent of worker scheduling.
+	ID int
+
+	Clock  *Clock
+	Events *EventQueue
+
+	// Fired counts events fired by RunWindow over the shard's lifetime.
+	// The scale experiment sums it across shards for the host
+	// events/sec throughput metric.
+	Fired uint64
+}
+
+// NewShard returns a shard with a fresh clock at time zero and an event
+// queue pre-sized for hint pending events.
+func NewShard(id, hint int) *Shard {
+	return &Shard{ID: id, Clock: NewClock(), Events: NewEventQueueSize(hint)}
+}
+
+// RunWindow fires, in timestamp order, every pending event with
+// At <= to, advancing the shard clock to each event as it fires, and
+// returns how many events fired. Events may schedule further events;
+// those are honoured within the same window if they fall inside it.
+//
+// The caller (the window synchronizer) guarantees that no event another
+// shard could still send can land at or before to — that is exactly the
+// conservative-lookahead contract — so firing everything inside the
+// window is safe without inspecting any other shard.
+func (s *Shard) RunWindow(to Time) uint64 {
+	var n uint64
+	q := s.Events
+	for {
+		at := q.NextAt()
+		if at > to {
+			break
+		}
+		s.Clock.AdvanceTo(at)
+		q.Step()
+		n++
+	}
+	s.Fired += n
+	return n
+}
+
+// Sync is the conservative time-window synchronizer for a set of
+// shards. Lookahead is the minimum latency of any cross-shard
+// interaction: a message sent at time t can arrive no earlier than
+// t + Lookahead, so once every shard has drained up to some horizon h,
+// all events up to h + Lookahead are already enqueued somewhere and the
+// window [_, h+Lookahead] is safe to run in parallel.
+type Sync struct {
+	Shards    []*Shard
+	Lookahead Time
+}
+
+// Horizon returns the next safe window bound: the globally earliest
+// pending event plus the lookahead. ok is false when every shard is
+// idle (no pending events anywhere), i.e. the simulation is done.
+//
+// The bound depends only on the union of pending events — not on how
+// nodes were dealt to shards — which is what makes the window sequence
+// (and therefore the whole run) invariant under shard count.
+func (y *Sync) Horizon() (Time, bool) {
+	min := Never
+	for _, s := range y.Shards {
+		if at := s.Events.NextAt(); at < min {
+			min = at
+		}
+	}
+	if min == Never {
+		return Never, false
+	}
+	return min + y.Lookahead, true
+}
+
+// SplitSeed derives a child seed for stream i from one base seed with a
+// SplitMix64-style finalizer. Same contract as par.SplitSeed but keyed
+// by uint64 so worlds can split per-node streams directly by node ID.
+// The derivation is pure, so re-partitioning nodes across shards never
+// re-deals anyone's stream.
+func SplitSeed(base, stream uint64) uint64 {
+	z := base + 0x9e3779b97f4a7c15*(stream+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
