@@ -45,11 +45,14 @@ bench:
 
 # The sharded engine's determinism contract, run under the race
 # detector: the same world must produce an identical fingerprint and
-# observation for every shard count and worker count. `race` covers
-# these too via ./...; the named target keeps the contract visible and
-# lets CI fail fast on the one invariant the whole PR hangs off.
+# observation for every shard count and worker count — for the abstract
+# RPC world AND the hosted-machine world (full machine.Machine per
+# node, real protocol initiation, fault planes, snapshot/restore).
+# `race` covers these too via ./...; the named target keeps the
+# contract visible and lets CI fail fast on the one invariant the whole
+# PR hangs off.
 shardparity:
-	$(GO) test -race -run 'TestShardEquivalence|TestShardSnapshotRestore|TestScaleShardParity' ./internal/net ./internal/exp
+	$(GO) test -race -run 'TestShardEquivalence|TestShardSnapshotRestore|TestScaleShardParity|TestScaleMachineShardParity|TestScaleMachineFaultParity|TestScaleMachineSnapshotRestore' ./internal/net ./internal/exp
 
 ci: build vet statslint shardparity race benchdiff
 
@@ -67,13 +70,16 @@ baseline-fault:
 	$(GO) run ./cmd/faultsim -json > BENCH_fault.json
 
 # Regenerate the scale snapshot: the 1000-node NOW (>= 10^6 link
-# deliveries) timed at shards {1,4,8}. The Scale section is exact
-# simulated time; the Bench section's Host* leaves (wall ns, host
-# events/sec, core count) measure THIS machine and are the one
-# deliberately non-reproducible part of any snapshot — cmd/benchdiff
-# prints them informationally and never flags them.
+# deliveries) timed at shards {1,4,8}, then the hosted-machine world —
+# full machines, per-protocol ladder — at a size the machine path
+# sustains. The Scale/ScaleMachine sections are exact simulated time;
+# the Bench sections' Host* leaves (wall ns, host events/sec, core
+# count) measure THIS machine and are the one deliberately
+# non-reproducible part of any snapshot — cmd/benchdiff prints them
+# informationally and never flags them.
 baseline-scale:
 	$(GO) run ./cmd/clustersim -scale -bench -json -nodes 1000 -arrival 55000 -ms 10 > BENCH_scale.json
+	$(GO) run ./cmd/clustersim -scale -bench -json -protocol all -nodes 256 -arrival 5000 -ms 2 > BENCH_scalemachine.json
 
 # Compare the current model's simulated-time numbers against the
 # committed baseline snapshot. Every value is exact simulated time, so

@@ -20,6 +20,13 @@
 // on this host's wall clock and reports host events/sec — the one
 // deliberately non-reproducible section (cmd/benchdiff treats those
 // leaves as informational).
+//
+// -scale -protocol upgrades the abstract RPC model to the
+// "scalemachine" experiment: every node becomes a FULL machine.Machine
+// and each RPC runs the named initiation protocol's real sequence —
+// kernel, extshadow, keybased, repeated, or "all" for the whole Table-1
+// line-up (one world per protocol). With -bench, the host-timed shard
+// ladder runs per protocol.
 package main
 
 import (
@@ -52,6 +59,7 @@ func main() {
 	ms := flag.Int("ms", 2, "scale: arrival-window length, simulated milliseconds (> 0)")
 	seed := flag.Uint64("seed", 1, "scale: world seed")
 	bench := flag.Bool("bench", false, "scale: time the world at shards {1,4,8} and report host events/sec (JSON)")
+	protocol := flag.String("protocol", "", "scale: run FULL machines with this initiation protocol (kernel, extshadow, keybased, repeated, all)")
 	flag.Parse()
 	stop, err := exp.StartProfiles()
 	if err != nil {
@@ -67,9 +75,9 @@ func main() {
 		p := exp.Params{
 			Nodes: *nodes, Shards: *shards, Arrival: *arrival, Tenants: *tenants,
 			ScaleBytes: *bytes, ScaleDur: sim.Time(*ms) * sim.Millisecond,
-			ScaleSeed: *seed, Procs: *procs,
+			ScaleSeed: *seed, Procs: *procs, Protocol: *protocol,
 		}
-		if err := validateScale(*nodes, *shards, *arrival, *tenants, *ms); err != nil {
+		if err := validateScale(*nodes, *shards, *arrival, *tenants, *ms, *protocol, *bytes); err != nil {
 			fmt.Fprintln(os.Stderr, "clustersim:", err)
 			exp.Exit(2)
 		}
@@ -77,6 +85,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "clustersim:", err)
 			exp.Exit(1)
 		}
+	} else if *protocol != "" {
+		fmt.Fprintln(os.Stderr, "clustersim: -protocol selects the machine-world scale experiment and needs -scale")
+		exp.Exit(2)
 	} else if err := run(*msgs, *size, !*gigabit, *hist, *procs, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "clustersim:", err)
 		exp.Exit(1)
@@ -89,7 +100,15 @@ func main() {
 
 // validateScale rejects nonsense scale configurations up front with
 // flag-level messages (the experiment validates again underneath).
-func validateScale(nodes, shards, arrival, tenants, ms int) error {
+func validateScale(nodes, shards, arrival, tenants, ms int, protocol string, bytes uint64) error {
+	if err := exp.ValidProtocol(protocol); err != nil {
+		return fmt.Errorf("-protocol %q: %w", protocol, err)
+	}
+	if protocol != "" {
+		if err := exp.ValidScaleMachineWorld(nodes, bytes); err != nil {
+			return fmt.Errorf("-protocol %s: %w", protocol, err)
+		}
+	}
 	switch {
 	case nodes < 2:
 		return fmt.Errorf("-nodes %d: the scale workload needs at least 2 nodes", nodes)
@@ -116,10 +135,14 @@ type clusterJSON struct {
 }
 
 // scaleJSON is the -scale -json document. Scale holds the configured
-// run; Bench (with -bench) holds the host-timed shard ladder.
+// run; Bench (with -bench) holds the host-timed shard ladder. With
+// -protocol the machine-world sections are populated instead — a
+// separate pair of keys so the flat scale wire format never shifts.
 type scaleJSON struct {
-	Scale []exp.ScaleRow
-	Bench []exp.ScaleRow `json:",omitempty"`
+	Scale        []exp.ScaleRow        `json:",omitempty"`
+	Bench        []exp.ScaleRow        `json:",omitempty"`
+	ScaleMachine []exp.ScaleMachineRow `json:",omitempty"`
+	BenchMachine []exp.ScaleMachineRow `json:",omitempty"`
 }
 
 func run(msgs int, size uint64, atm, hist bool, procs int, jsonOut bool) error {
@@ -147,25 +170,41 @@ func run(msgs int, size uint64, atm, hist bool, procs int, jsonOut bool) error {
 }
 
 func runScale(p exp.Params, jsonOut, bench bool) error {
-	r, err := exp.RunNamed("scale", p)
+	name := "scale"
+	if p.Protocol != "" {
+		name = "scalemachine"
+	}
+	r, err := exp.RunNamed(name, p)
 	if err != nil {
 		return err
 	}
 	if !jsonOut && !bench {
-		s, err := exp.RenderNamed("scale", exp.Text, r, p)
+		s, err := exp.RenderNamed(name, exp.Text, r, p)
 		if err != nil {
 			return err
 		}
 		fmt.Print(s)
 		return nil
 	}
-	doc := scaleJSON{Scale: exp.ScaleRows(r)}
-	if bench {
-		rows, err := benchScale(p)
-		if err != nil {
-			return err
+	var doc scaleJSON
+	if p.Protocol != "" {
+		doc.ScaleMachine = exp.ScaleMachineRows(r)
+		if bench {
+			rows, err := benchScaleMachine(p)
+			if err != nil {
+				return err
+			}
+			doc.BenchMachine = rows
 		}
-		doc.Bench = rows
+	} else {
+		doc.Scale = exp.ScaleRows(r)
+		if bench {
+			rows, err := benchScale(p)
+			if err != nil {
+				return err
+			}
+			doc.Bench = rows
+		}
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -199,6 +238,41 @@ func benchScale(p exp.Params) ([]exp.ScaleRow, error) {
 		}
 		row.HostCPUs = runtime.NumCPU()
 		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// benchScaleMachine is benchScale for the hosted-machine worlds: the
+// same shard ladder, one pass per selected protocol. The simulated
+// columns are byte-identical down each protocol's ladder; only the
+// Host* stamps vary with the machine.
+func benchScaleMachine(p exp.Params) ([]exp.ScaleMachineRow, error) {
+	names, err := exp.ScaleProtocolNames(p.Protocol)
+	if err != nil {
+		return nil, err
+	}
+	var rows []exp.ScaleMachineRow
+	for _, name := range names {
+		for _, shards := range []int{1, 4, 8} {
+			if shards > p.Nodes {
+				continue
+			}
+			bp := p
+			bp.Shards = shards
+			start := time.Now()
+			pt, err := exp.RunScaleMachineNamed(name, bp, shards)
+			if err != nil {
+				return nil, err
+			}
+			wall := time.Since(start)
+			row := exp.ScaleMachineRowOf(pt)
+			row.HostNs = wall.Nanoseconds()
+			if wall > 0 {
+				row.HostEventsPerSec = float64(pt.Events) / wall.Seconds()
+			}
+			row.HostCPUs = runtime.NumCPU()
+			rows = append(rows, row)
+		}
 	}
 	return rows, nil
 }

@@ -99,6 +99,11 @@ var goldenCases = []struct {
 	// match, which pins the parallel engine's determinism contract at the
 	// tool level.
 	{"clustersim_scale.txt", "clustersim", []string{"-scale"}},
+	// The hosted-machine world: full machines on the sharded engine, one
+	// world per initiation protocol. Small on purpose — the -procs re-run
+	// pins the machine path's determinism at the tool level too.
+	{"clustersim_scalemachine.txt", "clustersim",
+		[]string{"-scale", "-protocol", "all", "-nodes", "16", "-arrival", "10000", "-ms", "1"}},
 }
 
 // TestGolden pins the rendered output of every tool: text, markdown and
@@ -165,6 +170,9 @@ func TestSmoke(t *testing.T) {
 		{"clustersim-scale", "clustersim", []string{"-scale", "-nodes", "16", "-shards", "2", "-ms", "1"}, "goodput"},
 		{"clustersim-scale-json", "clustersim", []string{"-scale", "-json", "-nodes", "16", "-shards", "2", "-ms", "1", "-procs", "2"}, "\"Shards\""},
 		{"clustersim-scale-bench", "clustersim", []string{"-scale", "-bench", "-nodes", "16", "-shards", "2", "-ms", "1"}, "\"HostCPUs\""},
+		{"clustersim-scalemachine", "clustersim", []string{"-scale", "-protocol", "extshadow", "-nodes", "8", "-shards", "2", "-ms", "1"}, "Machines at cluster scale"},
+		{"clustersim-scalemachine-json", "clustersim", []string{"-scale", "-protocol", "extshadow", "-nodes", "8", "-shards", "2", "-ms", "1", "-json", "-procs", "2"}, "\"MachineDigest\""},
+		{"clustersim-scalemachine-bench", "clustersim", []string{"-scale", "-protocol", "kernel", "-nodes", "8", "-shards", "2", "-ms", "1", "-bench"}, "\"BenchMachine\""},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -194,6 +202,11 @@ func TestScaleFlagRejection(t *testing.T) {
 		{"zero-shards", []string{"-scale", "-shards", "0"}, "-shards 0"},
 		{"zero-tenants", []string{"-scale", "-tenants", "0"}, "-tenants 0"},
 		{"zero-window", []string{"-scale", "-ms", "0"}, "-ms 0"},
+		{"unknown-protocol", []string{"-scale", "-protocol", "bogus"}, `-protocol "bogus"`},
+		{"protocol-without-scale", []string{"-protocol", "extshadow"}, "needs -scale"},
+		{"protocol-nodes-ceiling", []string{"-scale", "-protocol", "extshadow", "-nodes", "2049"}, "at most 2048 nodes"},
+		{"protocol-tiny-request", []string{"-scale", "-protocol", "kernel", "-bytes", "4"}, "8-byte RPC tag"},
+		{"protocol-huge-request", []string{"-scale", "-protocol", "kernel", "-bytes", "9000"}, "landing page"},
 	}
 	for _, tc := range cases {
 		tc := tc

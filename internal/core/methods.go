@@ -499,8 +499,10 @@ func runProgram(c *proc.Context, prog isa.Program) (uint64, error) {
 
 // runCheckedProgram executes prog but aborts the attempt as soon as any
 // intermediate load reports DMA_FAILURE — Figure 7's per-step
-// "if (return_status == DMA_FAILURE) goto 1".
-func runCheckedProgram(c *proc.Context, prog isa.Program) (uint64, error) {
+// "if (return_status == DMA_FAILURE) goto 1". It takes any executor so
+// the scheduler path (proc.Context) and the hosted direct path
+// (DirectCPU) share one attempt semantics.
+func runCheckedProgram(c isa.Executor, prog isa.Program) (uint64, error) {
 	var last uint64 = dma.StatusFailure
 	for _, ins := range prog {
 		switch ins.Op {

@@ -509,6 +509,13 @@ func (e *Engine) MapOut(srcPage, dst phys.Addr) error {
 // SetRemoteHandler attaches the cluster fabric.
 func (e *Engine) SetRemoteHandler(h RemoteHandler) { e.remote = h }
 
+// Remote returns the attached cluster fabric handler (nil when the
+// engine is standalone). Shard-hosted snapshots use it to detach the
+// fabric around Snapshot — at a quiescent cluster barrier no link
+// traffic is in flight, so the engine's no-fabric snapshot rule can be
+// satisfied by unplugging the port and plugging it back in.
+func (e *Engine) Remote() RemoteHandler { return e.remote }
+
 // SetLogging enables or disables the transfer log (Transfers). The log
 // is a debugging and attack-study aid: it grows one record per accepted
 // transfer for the life of the engine. High-rate message channels turn

@@ -73,6 +73,11 @@ type Params struct {
 	ScaleBytes uint64   // scale: request payload bytes (0 = 64)
 	ScaleDur   sim.Time // scale: arrival-window length (0 = 2ms)
 	ScaleSeed  uint64   // scale: world seed (0 = 1)
+
+	// Protocol selects the scalemachine initiation protocol: "kernel",
+	// "extshadow", "keybased", "repeated", or ""/"all" for the full
+	// NOW comparison line-up (one cell per protocol).
+	Protocol string
 }
 
 func (p Params) freqs() []sim.Hz {
@@ -106,6 +111,7 @@ type Obs struct {
 	Recov  []RecoveryPoint            // recovery cells
 	Search []FaultSearchPoint         // faultsearch cells
 	Scale  []ScalePoint               // scale cells (sharded NOW runs)
+	ScaleM []ScaleMachinePoint        // scalemachine cells (hosted machine worlds)
 }
 
 // Row is one generic latency-table row produced by the OS and cluster
@@ -215,6 +221,16 @@ func (r *Result) ScalePoints() []ScalePoint {
 	var out []ScalePoint
 	for _, c := range r.Cells {
 		out = append(out, c.Obs.Scale...)
+	}
+	return out
+}
+
+// ScaleMachinePoints flattens the scalemachine observations in cell
+// order.
+func (r *Result) ScaleMachinePoints() []ScaleMachinePoint {
+	var out []ScaleMachinePoint
+	for _, c := range r.Cells {
+		out = append(out, c.Obs.ScaleM...)
 	}
 	return out
 }

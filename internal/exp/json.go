@@ -267,6 +267,86 @@ func ScaleRows(r *Result) []ScaleRow {
 	return out
 }
 
+// ScaleMachineRow is one hosted-machine scale run as the tools
+// serialise it. A separate type from ScaleRow — the flat scale wire
+// format stays byte-stable — with the machine world's extra axes:
+// which initiation protocol ran, the template boot time, the cluster's
+// conservative lookahead and rack latency bounds, the fleet's engine
+// aggregates, and the per-node machine-state digest (hex, like
+// Fingerprint, so no JSON reader rounds it).
+type ScaleMachineRow struct {
+	Label    string
+	Protocol string
+	Nodes    int
+	Shards   int
+	Arrival  int
+	Tenants  int
+	Bytes    uint64
+	DurPs    int64
+
+	Issued      uint64
+	Completed   uint64
+	MeanPs      int64
+	P50Ps       int64
+	P99Ps       int64
+	GoodputMBps float64
+	GoodputRPCs float64
+	Deliveries  uint64
+	Events      uint64
+	Windows     uint64
+	FinishPs    int64
+	Fingerprint string
+
+	BootPs      int64
+	LookaheadPs int64
+	LatMinPs    int64
+	LatMaxPs    int64
+
+	EngStarted    uint64
+	EngRejected   uint64
+	EngCompleted  uint64
+	EngBytesMoved uint64
+	MachineDigest string
+
+	HostNs           int64   `json:",omitempty"`
+	HostEventsPerSec float64 `json:",omitempty"`
+	HostCPUs         int     `json:",omitempty"`
+}
+
+// ScaleMachineRowOf converts one ScaleMachinePoint to its wire row.
+func ScaleMachineRowOf(pt ScaleMachinePoint) ScaleMachineRow {
+	return ScaleMachineRow{
+		Label:    fmt.Sprintf("%s/%dn/%ds", pt.Protocol, pt.Nodes, pt.Shards),
+		Protocol: pt.Protocol,
+		Nodes:    pt.Nodes, Shards: pt.Shards,
+		Arrival: pt.Arrival, Tenants: pt.Tenants,
+		Bytes: pt.Bytes, DurPs: int64(pt.Dur),
+
+		Issued: pt.Issued, Completed: pt.Completed,
+		MeanPs: int64(pt.Mean), P50Ps: int64(pt.P50), P99Ps: int64(pt.P99),
+		GoodputMBps: pt.GoodputMBps, GoodputRPCs: pt.GoodputRPCs,
+		Deliveries: pt.Deliveries, Events: pt.Events, Windows: pt.Windows,
+		FinishPs:    int64(pt.Finish),
+		Fingerprint: fmt.Sprintf("%016x", pt.Fingerprint),
+
+		BootPs: int64(pt.Boot), LookaheadPs: int64(pt.Lookahead),
+		LatMinPs: int64(pt.LatMin), LatMaxPs: int64(pt.LatMax),
+
+		EngStarted: pt.EngStarted, EngRejected: pt.EngRejected,
+		EngCompleted: pt.EngCompleted, EngBytesMoved: pt.EngBytesMoved,
+		MachineDigest: fmt.Sprintf("%016x", pt.MachineDigest),
+	}
+}
+
+// ScaleMachineRows converts a scalemachine result into wire rows.
+func ScaleMachineRows(r *Result) []ScaleMachineRow {
+	var out []ScaleMachineRow
+	for _, pt := range r.ScaleMachinePoints() {
+		out = append(out, ScaleMachineRowOf(pt))
+	}
+	return out
+}
+
 // ClusterRows converts a clustersim result into wire rows.
 func ClusterRows(r *Result) []ClusterRow {
 	var out []ClusterRow

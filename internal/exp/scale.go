@@ -157,9 +157,23 @@ func scaleParams(p Params) (nodes, shards, arrival, tenants int, bytes uint64, d
 // The result is identical for every workers value — the sharded
 // engine's contract — so callers choose workers purely for host speed.
 func RunScale(p Params, workers int) (ScalePoint, error) {
+	pt, _, _, err := runScaleWorld(p, workers, nil)
+	return pt, err
+}
+
+// RunScaleFaulted runs the same world with a fault plane attached to
+// the cross-shard links (judged per message in canonical flush order on
+// the coordinator) and additionally returns the plane's drop and
+// duplicate tallies. A nil plane — or one whose plan is empty, like a
+// zero-plan fault.Injector — reproduces RunScale byte for byte.
+func RunScaleFaulted(p Params, workers int, plane net.FaultPlane) (pt ScalePoint, drops, dups uint64, err error) {
+	return runScaleWorld(p, workers, plane)
+}
+
+func runScaleWorld(p Params, workers int, plane net.FaultPlane) (ScalePoint, uint64, uint64, error) {
 	nodes, shards, arrival, tenants, bytes, dur, seed, err := scaleParams(p)
 	if err != nil {
-		return ScalePoint{}, err
+		return ScalePoint{}, 0, 0, err
 	}
 	c, err := net.NewShardedCluster(net.ShardedConfig{
 		Nodes:     nodes,
@@ -169,7 +183,10 @@ func RunScale(p Params, workers int) (ScalePoint, error) {
 		QueueHint: 4 * nodes / shards,
 	})
 	if err != nil {
-		return ScalePoint{}, err
+		return ScalePoint{}, 0, 0, err
+	}
+	if plane != nil {
+		c.SetFaultPlane(plane)
 	}
 	w := &scaleWorld{
 		c:     c,
@@ -187,7 +204,7 @@ func RunScale(p Params, workers int) (ScalePoint, error) {
 		completed: make([]uint64, nodes),
 	}
 	if w.interval <= 0 {
-		return ScalePoint{}, fmt.Errorf("exp: scale arrival rate %d/node too high for %d tenants (zero inter-arrival)", arrival, tenants)
+		return ScalePoint{}, 0, 0, fmt.Errorf("exp: scale arrival rate %d/node too high for %d tenants (zero inter-arrival)", arrival, tenants)
 	}
 	c.SetDeliver(w.deliver)
 	// Prime every tenant stream with a jittered first arrival. Draws
@@ -199,9 +216,10 @@ func RunScale(p Params, workers int) (ScalePoint, error) {
 		}
 	}
 	if err := c.Run(par.Workers(workers), scaleMaxWindows); err != nil {
-		return ScalePoint{}, err
+		return ScalePoint{}, 0, 0, err
 	}
-	return w.observe(arrival, tenants, dur), nil
+	drops, dups := c.FaultStats()
+	return w.observe(arrival, tenants, dur), drops, dups, nil
 }
 
 // jitter draws the next inter-arrival gap for a stream on node n:

@@ -189,7 +189,17 @@ type Machine struct {
 	// Tracer is the structured trace spine; nil until EnableTrace (the
 	// pay-for-what-you-use disabled state).
 	Tracer *obs.Trace
+	// hosted marks a machine that runs on a shard's clock and event
+	// queue (NewHosted): it never owns them, so the whole-queue
+	// operations (Settle, Snapshot) are forbidden — the shard barrier
+	// drives quiescence and SnapshotHosted/RestoreHosted capture the
+	// machine's own state only.
+	hosted bool
 }
+
+// Hosted reports whether the machine is shard-hosted: running on an
+// external clock and event queue it does not own.
+func (m *Machine) Hosted() bool { return m.hosted }
 
 // EventQueueHint is the event-queue capacity pre-sized for a
 // standalone machine: a single node rarely has more than a handful of
@@ -207,10 +217,30 @@ func New(cfg Config) (*Machine, error) {
 // NewWithClock assembles a machine on an externally owned clock and
 // event queue — how clusters keep several nodes causally consistent.
 func NewWithClock(cfg Config, clock *sim.Clock, events *sim.EventQueue) (*Machine, error) {
+	return assemble(cfg, clock, events, events, false)
+}
+
+// NewHosted assembles a shard-hosted machine: it runs on the shard's
+// clock and event queue but never owns them. The difference from
+// NewWithClock is the CPU's pump — on a single-owner queue every CPU
+// operation drains due events (DMA completions interleave with
+// instructions), but a shard queue holds OTHER nodes' events too, so a
+// hosted CPU must not pump it; the shard's RunWindow is the only event
+// driver. The DMA engine still schedules its completions and remote
+// ships on the shard queue, which is exactly how hosted transfers ride
+// the window synchronizer.
+func NewHosted(cfg Config, clock *sim.Clock, events *sim.EventQueue) (*Machine, error) {
+	return assemble(cfg, clock, events, nil, true)
+}
+
+// assemble builds the machine. cpuEvents is the queue the CPU pumps on
+// every operation (nil for hosted machines, see NewHosted); events is
+// the queue the engine schedules on.
+func assemble(cfg Config, clock *sim.Clock, events, cpuEvents *sim.EventQueue, hosted bool) (*Machine, error) {
 	mem := phys.New(cfg.MemSize)
 	b := bus.New(clock, cfg.BusFreq, cfg.BusCost)
 	wb := bus.NewWriteBuffer(b, cfg.WriteBufferEntries, cfg.WriteBufferCoalesce)
-	c := cpu.New(cfg.CPU, clock, events, mem, b, wb)
+	c := cpu.New(cfg.CPU, clock, cpuEvents, mem, b, wb)
 
 	engine, err := dma.New(cfg.Engine, clock, events, mem)
 	if err != nil {
@@ -245,6 +275,7 @@ func NewWithClock(cfg Config, clock *sim.Clock, events *sim.EventQueue) (*Machin
 	m := &Machine{
 		Cfg: cfg, Clock: clock, Events: events, Mem: mem, Bus: b,
 		WB: wb, CPU: c, Engine: engine, Kernel: k, Runner: runner,
+		hosted: hosted,
 	}
 	m.registerMetrics()
 	return m, nil
@@ -273,6 +304,9 @@ func (m *Machine) Run(policy proc.Policy, maxSlots uint64) error {
 // Settle fires all outstanding events (in-flight DMA completions) and
 // advances the clock past the last of them. Returns the settled time.
 func (m *Machine) Settle() sim.Time {
+	if m.hosted {
+		panic("machine: Settle on a shard-hosted machine (the shard owns the event queue)")
+	}
 	t := m.Events.Drain(m.Clock.Now())
 	m.Clock.AdvanceTo(t)
 	return m.Clock.Now()

@@ -60,6 +60,9 @@ func (s *Snapshot) Time() sim.Time { return s.time }
 // process blocked on a remote-write watch, or the engine attached to a
 // cluster fabric (in-flight link traffic lives outside the machine).
 func (m *Machine) Snapshot() (*Snapshot, error) {
+	if m.hosted {
+		return nil, fmt.Errorf("machine: Snapshot on a shard-hosted machine (use SnapshotHosted at a quiescent cluster barrier)")
+	}
 	m.Settle()
 	runner, err := m.Runner.Snapshot()
 	if err != nil {
@@ -169,6 +172,12 @@ func RestoreOrigin(s *Snapshot) (*Machine, error) {
 func (m *Machine) restoreInto(s *Snapshot) error {
 	m.Clock.Reset(s.time)
 	m.Events.Reset(s.seq)
+	return m.restoreSubstrates(s)
+}
+
+// restoreSubstrates rewinds the machine-owned substrates only — not the
+// clock or event queue, which a shard-hosted machine does not own.
+func (m *Machine) restoreSubstrates(s *Snapshot) error {
 	if err := m.Mem.Restore(s.mem); err != nil {
 		return err
 	}
@@ -188,4 +197,107 @@ func (m *Machine) restoreInto(s *Snapshot) error {
 		}
 	}
 	return m.Kernel.Restore(s.kern)
+}
+
+// NewFromSnapshotHosted hydrates a snapshot into a shard-hosted clone
+// running on the given external clock and event queue — the per-node
+// amortization path for cluster-scale worlds: build ONE standalone
+// template machine, snapshot it, then hydrate a clone per node. Clones
+// share the template's physical memory copy-on-write and its settled
+// process records and page tables by pointer; nothing may remap pages
+// after the snapshot.
+//
+// The clone does NOT adopt the snapshot's clock time (the shard clock
+// is shared and starts at zero). Its substrates carry template-era
+// timestamps (bus busy-until, write-buffer slots), so the host must not
+// drive any CPU or bus operation on the clone before the template's
+// snapshot time — scale worlds prime their first arrivals at a boot
+// time past it.
+func NewFromSnapshotHosted(s *Snapshot, clock *sim.Clock, events *sim.EventQueue) (*Machine, error) {
+	m, err := NewHosted(s.cfg, clock, events)
+	if err != nil {
+		return nil, err
+	}
+	if s.kern.SHRIMP2Hook() {
+		m.Kernel.EnableSHRIMP2Hook()
+	}
+	if s.kern.FLASHHook() {
+		m.Kernel.EnableFLASHHook()
+	}
+	if s.kern.PALDMAInstalled() {
+		m.Kernel.InstallPALDMA()
+	}
+	if s.trace != nil {
+		m.EnableTrace(s.trace.Cap(), s.trace.Policy())
+	}
+	if err := m.Runner.Adopt(s.runner); err != nil {
+		return nil, err
+	}
+	if err := m.restoreSubstrates(s); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// SnapshotHosted captures a shard-hosted machine's own state. The
+// caller must hold the cluster at a quiescent barrier (no pending
+// events anywhere), which is what lets the snapshot skip Settle and
+// detach the engine's fabric port for the duration — with no link
+// traffic in flight the no-fabric snapshot rule holds trivially. The
+// event-queue sequence is recorded as zero: hosted restores never touch
+// the shared queue.
+func (m *Machine) SnapshotHosted() (*Snapshot, error) {
+	if !m.hosted {
+		return nil, fmt.Errorf("machine: SnapshotHosted on a standalone machine (use Snapshot)")
+	}
+	port := m.Engine.Remote()
+	if port != nil {
+		m.Engine.SetRemoteHandler(nil)
+		defer m.Engine.SetRemoteHandler(port)
+	}
+	runner, err := m.Runner.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	engine, err := m.Engine.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	kern, err := m.Kernel.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	s := &Snapshot{
+		cfg:    m.Cfg,
+		time:   m.Clock.Now(),
+		mem:    m.Mem.Snapshot(),
+		bus:    m.Bus.Snapshot(),
+		wb:     m.WB.Snapshot(),
+		cpu:    m.CPU.Snapshot(),
+		engine: engine,
+		kern:   kern,
+		runner: runner,
+		origin: m,
+	}
+	if m.Tracer != nil {
+		s.trace = m.Tracer.State()
+	}
+	return s, nil
+}
+
+// RestoreHosted rewinds a shard-hosted machine in place to a snapshot
+// taken by SnapshotHosted on the same machine. Like SnapshotHosted it
+// requires a quiescent barrier; the shard clock and queue are left to
+// the cluster's own snapshot machinery.
+func (m *Machine) RestoreHosted(s *Snapshot) error {
+	if !m.hosted {
+		return fmt.Errorf("machine: RestoreHosted on a standalone machine (use Restore)")
+	}
+	if s.origin != m {
+		return fmt.Errorf("machine: RestoreHosted: not the snapshot's origin machine")
+	}
+	if err := m.Runner.Restore(s.runner); err != nil {
+		return err
+	}
+	return m.restoreSubstrates(s)
 }

@@ -32,12 +32,16 @@ package net
 //     exclusively through Send, which is what makes same-instant
 //     events of different nodes commute.
 //
-// The engine is event-level, not machine-accurate: nodes are modelled
-// by callbacks with explicit costs rather than by machine.Machine
-// instances, which is why it is not bound by machine.MaxNodes and can
-// carry thousands of nodes. The machine-accurate Cluster above remains
-// the ground truth for per-transfer costs; this engine extrapolates
-// those costs to datacenter scale.
+// The engine itself is event-level: nodes are modelled by callbacks,
+// which is why it is not bound by machine.MaxNodes and can carry
+// thousands of nodes. Those callbacks may be flat cost constants (the
+// `scale` experiment) — or they may drive full machine.Machine worlds
+// hosted on the shards (HostedMachines in shardmachine.go, the
+// `scalemachine` experiment), in which case every delivery pays real
+// TLB walks, write-buffer drains and DMA-engine FSM transitions. A
+// hosted handler advances the shared shard clock while charging CPU
+// time, so each machine keeps its own monotonic time floor and the
+// shard clock is reset per event (sim.Shard.RunWindow).
 
 import (
 	"fmt"
@@ -62,11 +66,22 @@ type ShardedConfig struct {
 	Seed uint64
 	// QueueHint pre-sizes each shard's event queue (<= 0: a default).
 	QueueHint int
-	// Lookahead overrides the synchronizer lookahead. Zero selects
-	// Link.Latency; values above Link.Latency are rejected because a
-	// window wider than the true minimum message delay would let a
-	// cross-shard message land inside an already-running window.
+	// Lookahead overrides the synchronizer lookahead. Zero selects the
+	// minimum link latency (Link.Latency, or the matrix minimum when
+	// Latency is set); larger values are rejected because a window wider
+	// than the true minimum message delay would let a cross-shard
+	// message land inside an already-running window.
 	Lookahead sim.Time
+	// Latency, when non-nil, gives each ordered node pair its own
+	// one-way wire latency (a pure function of (src, dst): topology,
+	// never state). Link.Latency is ignored for the wire when set;
+	// Link.Bandwidth still serializes every egress port. Construction
+	// scans the full pair matrix once to find the global minimum (the
+	// synchronizer lookahead — the window formula deliberately stays
+	// global so the window sequence, which is part of the fingerprint,
+	// remains layout-invariant) and a per-shard-pair minimum matrix
+	// used as a causality floor on every flushed message.
+	Latency func(src, dst int) sim.Time
 }
 
 // SMsg is one inter-node message in the sharded engine. It carries no
@@ -158,6 +173,23 @@ type ShardedCluster struct {
 	deliver SDeliver
 	state   ShardState // optional model snapshot hook
 
+	// plane is the optional fault injector on cross-shard links. Every
+	// flushed message is judged exactly once, in the canonical
+	// (Arrive, Src, Seq) order, on the coordinator — the flushed set per
+	// barrier and its sort are layout-invariant, so the injector's draw
+	// sequence (and therefore any (plan, seed) replay) is byte-identical
+	// at every shard and worker count.
+	plane      FaultPlane
+	faultDrops uint64 // messages the plane deleted
+	faultDups  uint64 // extra copies the plane injected
+
+	// pairMin[i][j] is the minimum wire latency from any node of shard i
+	// to any node of shard j (nil when ShardedConfig.Latency is unset —
+	// then every pair floors at Link.Latency). latMin/latMax bound the
+	// whole matrix; latMin is the synchronizer lookahead default.
+	pairMin        [][]sim.Time
+	latMin, latMax sim.Time
+
 	horizon     sim.Time // current window bound (written at barriers)
 	lastHorizon sim.Time // causality floor for flushed arrivals
 	windows     uint64
@@ -182,20 +214,12 @@ func NewShardedCluster(cfg ShardedConfig) (*ShardedCluster, error) {
 	if cfg.Link.Latency <= 0 {
 		return nil, fmt.Errorf("net: sharded cluster needs positive link latency (it is the synchronizer lookahead)")
 	}
-	la := cfg.Lookahead
-	if la == 0 {
-		la = cfg.Link.Latency
-	}
-	if la < 0 || la > cfg.Link.Latency {
-		return nil, fmt.Errorf("net: lookahead %v exceeds minimum link latency %v", la, cfg.Link.Latency)
-	}
 	hint := cfg.QueueHint
 	if hint <= 0 {
 		hint = 256
 	}
 	c := &ShardedCluster{
 		cfg:       cfg,
-		lookahead: la,
 		shards:    make([]*sim.Shard, cfg.Shards),
 		nodeShard: make([]int32, cfg.Nodes),
 		first:     make([]int, cfg.Shards+1),
@@ -219,6 +243,56 @@ func NewShardedCluster(cfg ShardedConfig) (*ShardedCluster, error) {
 	for n := 0; n < cfg.Nodes; n++ {
 		c.rng[n].SetState(sim.SplitSeed(cfg.Seed, uint64(n)))
 	}
+	c.latMin, c.latMax = cfg.Link.Latency, cfg.Link.Latency
+	if cfg.Latency != nil {
+		// One full pair scan at construction: the global minimum becomes
+		// the lookahead, the per-shard-pair minima become flush-time
+		// causality floors. The scan is O(nodes²) of a pure function —
+		// amortized over the whole run, and the only place the matrix is
+		// ever materialized (flush keeps just the Shards×Shards minima).
+		c.pairMin = make([][]sim.Time, cfg.Shards)
+		for i := range c.pairMin {
+			row := make([]sim.Time, cfg.Shards)
+			for j := range row {
+				row[j] = sim.Never
+			}
+			c.pairMin[i] = row
+		}
+		c.latMin, c.latMax = sim.Never, 0
+		for s := 0; s < cfg.Nodes; s++ {
+			row := c.pairMin[c.nodeShard[s]]
+			for d := 0; d < cfg.Nodes; d++ {
+				if d == s {
+					continue
+				}
+				l := cfg.Latency(s, d)
+				if l <= 0 {
+					return nil, fmt.Errorf("net: latency matrix gives %v for pair (%d,%d); every wire latency must be positive", l, s, d)
+				}
+				if ds := c.nodeShard[d]; l < row[ds] {
+					row[ds] = l
+				}
+				if l < c.latMin {
+					c.latMin = l
+				}
+				if l > c.latMax {
+					c.latMax = l
+				}
+			}
+		}
+		if c.latMin == sim.Never {
+			// A single-node world has no pairs; fall back to the link.
+			c.latMin, c.latMax = cfg.Link.Latency, cfg.Link.Latency
+		}
+	}
+	la := cfg.Lookahead
+	if la == 0 {
+		la = c.latMin
+	}
+	if la < 0 || la > c.latMin {
+		return nil, fmt.Errorf("net: lookahead %v exceeds minimum link latency %v", la, c.latMin)
+	}
+	c.lookahead = la
 	return c, nil
 }
 
@@ -227,6 +301,32 @@ func (c *ShardedCluster) Config() ShardedConfig { return c.cfg }
 
 // Lookahead returns the synchronizer lookahead in effect.
 func (c *ShardedCluster) Lookahead() sim.Time { return c.lookahead }
+
+// LatencyBounds returns the minimum and maximum one-way wire latency
+// over all ordered node pairs (equal to Link.Latency twice when no
+// latency matrix is configured).
+func (c *ShardedCluster) LatencyBounds() (min, max sim.Time) { return c.latMin, c.latMax }
+
+// ShardPairFloor returns the causality floor for messages from shard i
+// to shard j: the minimum wire latency over the owned node pairs.
+func (c *ShardedCluster) ShardPairFloor(i, j int) sim.Time {
+	if c.pairMin == nil {
+		return c.cfg.Link.Latency
+	}
+	return c.pairMin[i][j]
+}
+
+// SetFaultPlane attaches a fault injector to the cluster's links. Every
+// message is judged once at outbox flush, in canonical order, on the
+// coordinator — see the plane field for why that replays byte-
+// identically at every layout. Install before Run; a nil plane (or one
+// whose plan is empty — fault.Injector short-circuits to one clean
+// copy before drawing) leaves the run bit-for-bit unchanged.
+func (c *ShardedCluster) SetFaultPlane(p FaultPlane) { c.plane = p }
+
+// FaultStats reports how many messages the fault plane deleted and how
+// many extra copies it injected (both zero when no plane is attached).
+func (c *ShardedCluster) FaultStats() (drops, dups uint64) { return c.faultDrops, c.faultDups }
 
 // ShardOf returns the shard owning node n.
 func (c *ShardedCluster) ShardOf(n int) int { return int(c.nodeShard[n]) }
@@ -239,6 +339,15 @@ func (c *ShardedCluster) Rand(n int) *sim.Rand { return &c.rng[n] }
 // Now returns the clock of the shard owning node n — the only notion
 // of "current time" a node-local event may consult.
 func (c *ShardedCluster) Now(n int) sim.Time { return c.shards[c.nodeShard[n]].Clock.Now() }
+
+// NodeEnv returns the clock and event queue of the shard owning node n
+// — what machine.NewHosted / NewFromSnapshotHosted mount a shard-hosted
+// machine on. Anything scheduled on the queue must follow the
+// node-local rule: touch only node n's state.
+func (c *ShardedCluster) NodeEnv(n int) (*sim.Clock, *sim.EventQueue) {
+	s := c.shards[c.nodeShard[n]]
+	return s.Clock, s.Events
+}
 
 // SetDeliver installs the model's receive hook.
 func (c *ShardedCluster) SetDeliver(fn SDeliver) { c.deliver = fn }
@@ -273,11 +382,15 @@ func (c *ShardedCluster) Send(src, dst int, kind uint8, bytes, arg uint64, now s
 	dep += sim.Time(bytes * uint64(sim.Second) / c.cfg.Link.Bandwidth)
 	c.egress[src] = dep
 	c.eseq[src]++
+	lat := c.cfg.Link.Latency
+	if c.cfg.Latency != nil {
+		lat = c.cfg.Latency(src, dst)
+	}
 	sh := c.nodeShard[src]
 	c.ctr[sh].sent.Inc()
 	c.outbox[sh] = append(c.outbox[sh], SMsg{
 		Src: src, Dst: dst, Kind: kind, Bytes: bytes, Arg: arg,
-		Sent: now, Arrive: dep + c.cfg.Link.Latency, Seq: c.eseq[src],
+		Sent: now, Arrive: dep + lat, Seq: c.eseq[src],
 	})
 }
 
@@ -345,10 +458,32 @@ func (c *ShardedCluster) flush() {
 			panic(fmt.Sprintf("net: sharded causality violation: arrival %v before horizon %v (src %d dst %d)",
 				m.Arrive, c.lastHorizon, m.Src, m.Dst))
 		}
-		ds := int(c.nodeShard[m.Dst])
-		d := c.getDelivery(ds)
-		d.m = m
-		c.shards[ds].Events.ScheduleFunc(m.Arrive, d.fire)
+		ss, ds := int(c.nodeShard[m.Src]), int(c.nodeShard[m.Dst])
+		if c.pairMin != nil && m.Arrive-m.Sent < c.pairMin[ss][ds] {
+			// A message beat the latency matrix's own floor for its shard
+			// pair: the Latency function returned inconsistent values (it
+			// must be pure) or a model bypassed Send.
+			panic(fmt.Sprintf("net: sharded latency-floor violation: wire time %v under shard-pair floor %v (src %d dst %d)",
+				m.Arrive-m.Sent, c.pairMin[ss][ds], m.Src, m.Dst))
+		}
+		verdict := Verdict{N: 1}
+		if c.plane != nil {
+			verdict = c.plane.Judge(m.Src, m.Dst, m.Sent)
+		}
+		if verdict.N == 0 {
+			c.faultDrops++
+			continue
+		}
+		if verdict.N > 1 {
+			c.faultDups += uint64(verdict.N - 1)
+		}
+		for k := 0; k < verdict.N; k++ {
+			cm := m
+			cm.Arrive += verdict.Copies[k].Delay
+			d := c.getDelivery(ds)
+			d.m = cm
+			c.shards[ds].Events.ScheduleFunc(cm.Arrive, d.fire)
+		}
 	}
 }
 
@@ -467,8 +602,12 @@ func (c *ShardedCluster) Totals() ShardedTotals {
 	}
 	for _, s := range c.shards {
 		t.Events += s.Fired
-		if now := s.Clock.Now(); now > t.Finish {
-			t.Finish = now
+		// Reached, not Clock.Now(): a hosted machine handler leaves the
+		// shard clock wherever its last CPU charge ended, which need not
+		// be the run's maximum. Reached is a per-event property of the
+		// node that fired, so its max is layout-invariant.
+		if s.Reached > t.Finish {
+			t.Finish = s.Reached
 		}
 	}
 	t.Windows = c.windows
@@ -521,14 +660,18 @@ type ShardedSnapshot struct {
 	egress   []sim.Time
 	eseq     []uint64
 
-	clocks []sim.Time
-	seqs   []uint64
-	fired  []uint64
+	clocks  []sim.Time
+	seqs    []uint64
+	fired   []uint64
+	reached []sim.Time
 
 	sent, delivered, bytes []uint64
 
 	lastHorizon sim.Time
 	windows     uint64
+
+	faultDrops, faultDups uint64
+	plane                 any // FaultPlane state payload
 
 	traces []*obs.TraceState // nil when tracing disabled
 	model  any               // ShardState hook payload
@@ -556,11 +699,14 @@ func (c *ShardedCluster) Snapshot() (*ShardedSnapshot, error) {
 		clocks:      make([]sim.Time, len(c.shards)),
 		seqs:        make([]uint64, len(c.shards)),
 		fired:       make([]uint64, len(c.shards)),
+		reached:     make([]sim.Time, len(c.shards)),
 		sent:        make([]uint64, len(c.shards)),
 		delivered:   make([]uint64, len(c.shards)),
 		bytes:       make([]uint64, len(c.shards)),
 		lastHorizon: c.lastHorizon,
 		windows:     c.windows,
+		faultDrops:  c.faultDrops,
+		faultDups:   c.faultDups,
 	}
 	for n := range c.rng {
 		sn.rngState[n] = c.rng[n].State()
@@ -569,9 +715,13 @@ func (c *ShardedCluster) Snapshot() (*ShardedSnapshot, error) {
 		sn.clocks[i] = s.Clock.Now()
 		sn.seqs[i] = s.Events.SnapshotSeq()
 		sn.fired[i] = s.Fired
+		sn.reached[i] = s.Reached
 		sn.sent[i] = c.ctr[i].sent.Value()
 		sn.delivered[i] = c.ctr[i].delivered.Value()
 		sn.bytes[i] = c.ctr[i].bytes.Value()
+	}
+	if c.plane != nil {
+		sn.plane = c.plane.SnapshotState()
 	}
 	if c.traces != nil {
 		sn.traces = make([]*obs.TraceState, len(c.traces))
@@ -605,6 +755,7 @@ func (c *ShardedCluster) Restore(sn *ShardedSnapshot) error {
 		s.Clock.Reset(sn.clocks[i])
 		s.Events.Reset(sn.seqs[i])
 		s.Fired = sn.fired[i]
+		s.Reached = sn.reached[i]
 		c.ctr[i].sent = obs.Counter(sn.sent[i])
 		c.ctr[i].delivered = obs.Counter(sn.delivered[i])
 		c.ctr[i].bytes = obs.Counter(sn.bytes[i])
@@ -612,6 +763,13 @@ func (c *ShardedCluster) Restore(sn *ShardedSnapshot) error {
 	}
 	c.lastHorizon = sn.lastHorizon
 	c.windows = sn.windows
+	c.faultDrops = sn.faultDrops
+	c.faultDups = sn.faultDups
+	if c.plane != nil && sn.plane != nil {
+		if err := c.plane.RestoreState(sn.plane); err != nil {
+			return fmt.Errorf("net: restore fault plane: %w", err)
+		}
+	}
 	if sn.traces != nil {
 		for i, ts := range sn.traces {
 			if err := c.traces[i].RestoreState(ts); err != nil {

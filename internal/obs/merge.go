@@ -1,6 +1,9 @@
 package obs
 
-import "sort"
+import (
+	"cmp"
+	"slices"
+)
 
 // MergeEvents merges per-shard trace spines into one timeline under a
 // total order that depends only on event CONTENT, never on which shard
@@ -13,7 +16,9 @@ import "sort"
 // Each input stream must already be in emission order (which Trace
 // .Events guarantees); the merge is a stable sort of the concatenation,
 // so equal events keep their stream-relative order as the final
-// tie-break.
+// tie-break. slices.SortStableFunc sorts the slice directly — no
+// reflect-based swaps, and the only allocation is the output slice
+// itself (pinned by TestMergeEventsAllocs).
 func MergeEvents(streams ...[]Event) []Event {
 	n := 0
 	for _, s := range streams {
@@ -23,40 +28,38 @@ func MergeEvents(streams ...[]Event) []Event {
 	for _, s := range streams {
 		out = append(out, s...)
 	}
-	sort.SliceStable(out, func(i, j int) bool {
-		return eventLess(&out[i], &out[j])
-	})
+	slices.SortStableFunc(out, eventCmp)
 	return out
 }
 
-// eventLess is the canonical total order on trace events: timestamp
+// eventCmp is the canonical total order on trace events: timestamp
 // first, then every remaining field in declaration order. Comparing
 // all fields (not just At) is what makes the order total up to exact
 // duplicates, so the merged output cannot depend on shard layout.
-func eventLess(a, b *Event) bool {
-	if a.At != b.At {
-		return a.At < b.At
+func eventCmp(a, b Event) int {
+	if c := cmp.Compare(a.At, b.At); c != 0 {
+		return c
 	}
-	if a.Node != b.Node {
-		return a.Node < b.Node
+	if c := cmp.Compare(a.Node, b.Node); c != 0 {
+		return c
 	}
-	if a.PID != b.PID {
-		return a.PID < b.PID
+	if c := cmp.Compare(a.PID, b.PID); c != 0 {
+		return c
 	}
-	if a.Cat != b.Cat {
-		return a.Cat < b.Cat
+	if c := cmp.Compare(a.Cat, b.Cat); c != 0 {
+		return c
 	}
-	if a.Dur != b.Dur {
-		return a.Dur < b.Dur
+	if c := cmp.Compare(a.Dur, b.Dur); c != 0 {
+		return c
 	}
-	if a.Name != b.Name {
-		return a.Name < b.Name
+	if c := cmp.Compare(a.Name, b.Name); c != 0 {
+		return c
 	}
-	if a.A0 != b.A0 {
-		return a.A0 < b.A0
+	if c := cmp.Compare(a.A0, b.A0); c != 0 {
+		return c
 	}
-	if a.A1 != b.A1 {
-		return a.A1 < b.A1
+	if c := cmp.Compare(a.A1, b.A1); c != 0 {
+		return c
 	}
-	return a.A2 < b.A2
+	return cmp.Compare(a.A2, b.A2)
 }

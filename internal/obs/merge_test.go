@@ -35,9 +35,42 @@ func TestMergeEventsLayoutInvariant(t *testing.T) {
 		t.Fatalf("merge depends on stream layout:\none stream: %+v\nthree streams: %+v", one, many)
 	}
 	for i := 1; i < len(many); i++ {
-		if eventLess(&many[i], &many[i-1]) {
+		if eventCmp(many[i], many[i-1]) < 0 {
 			t.Fatalf("merged output not sorted at %d: %+v after %+v", i, many[i], many[i-1])
 		}
+	}
+}
+
+// mergeFixture builds shardCount pre-sorted spines totalling n events,
+// deterministic content (no wall-clock, no global RNG).
+func mergeFixture(shards, n int) [][]Event {
+	streams := make([][]Event, shards)
+	for i := 0; i < n; i++ {
+		s := i % shards
+		streams[s] = append(streams[s], mkEvent(sim.Time(i/shards*10), int32(i%7), "land", uint64(i*2654435761)))
+	}
+	return streams
+}
+
+// The merge allocates the output slice and NOTHING else —
+// slices.SortStableFunc works in place, so the event payloads are
+// never boxed or re-boxed the way reflect-based sorts do.
+func TestMergeEventsAllocs(t *testing.T) {
+	streams := mergeFixture(4, 256)
+	allocs := testing.AllocsPerRun(20, func() {
+		MergeEvents(streams...)
+	})
+	if allocs > 1 {
+		t.Fatalf("MergeEvents allocates %v times per call, want <= 1 (the output slice)", allocs)
+	}
+}
+
+func BenchmarkMergeEvents(b *testing.B) {
+	streams := mergeFixture(8, 8192)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MergeEvents(streams...)
 	}
 }
 

@@ -25,6 +25,16 @@ type Shard struct {
 	// The scale experiment sums it across shards for the host
 	// events/sec throughput metric.
 	Fired uint64
+
+	// Reached is the high-water mark of the shard clock across every
+	// event fired so far. It is NOT the clock after the last event: a
+	// shard-hosted machine model may advance the shared clock past the
+	// event's timestamp while charging CPU/bus time, and a later cheap
+	// event can leave the clock below that peak. Worlds that report a
+	// finish time must take max(Reached) over shards — the per-event
+	// peak is a property of the node that fired, so the maximum is
+	// invariant under how nodes are dealt to shards.
+	Reached Time
 }
 
 // NewShard returns a shard with a fresh clock at time zero and an event
@@ -42,6 +52,15 @@ func NewShard(id, hint int) *Shard {
 // shard could still send can land at or before to — that is exactly the
 // conservative-lookahead contract — so firing everything inside the
 // window is safe without inspecting any other shard.
+//
+// The clock is Reset (not AdvanceTo'd) to each event's timestamp: a
+// handler hosting a machine model advances the shared clock while it
+// charges CPU and bus time, so the next event's timestamp may be
+// earlier than where the previous handler left the clock. That is fine
+// — each NODE's view of time stays monotonic (hosted models keep a
+// per-node floor) — but it means the shard clock is a scratch register
+// between events, not a monotonic counter. Reached keeps the monotonic
+// summary.
 func (s *Shard) RunWindow(to Time) uint64 {
 	var n uint64
 	q := s.Events
@@ -50,8 +69,11 @@ func (s *Shard) RunWindow(to Time) uint64 {
 		if at > to {
 			break
 		}
-		s.Clock.AdvanceTo(at)
+		s.Clock.Reset(at)
 		q.Step()
+		if now := s.Clock.Now(); now > s.Reached {
+			s.Reached = now
+		}
 		n++
 	}
 	s.Fired += n
