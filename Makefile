@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench ci baseline baseline-fault baseline-scale shardparity golden trace-golden statslint benchdiff profile
+.PHONY: all build vet test race bench ci baseline baseline-fault baseline-scale baseline-ring shardparity ringparity golden trace-golden statslint benchdiff profile
 
 all: ci
 
@@ -54,7 +54,16 @@ bench:
 shardparity:
 	$(GO) test -race -run 'TestShardEquivalence|TestShardSnapshotRestore|TestScaleShardParity|TestScaleMachineShardParity|TestScaleMachineFaultParity|TestScaleMachineSnapshotRestore' ./internal/net ./internal/exp
 
-ci: build vet statslint shardparity race benchdiff
+# The descriptor-ring contracts, run under the race detector: amortized
+# initiation falls monotonically with depth (2x floor at depth 32),
+# depth/churn measurements are rerun-deterministic, a mid-batch fleet
+# snapshot rewinds byte-identically, the doorbell->walk->completion hot
+# path stays at 0 allocs/op, and the adaptive per-shard-pair lookahead
+# matches the single-shard reference at every shard x worker layout.
+ringparity:
+	$(GO) test -race -run 'TestRingDepthAmortizes|TestRingDepthDeterministic|TestRingChurnPolicies|TestRingSnapshotFidelity|TestRingDoorbellZeroAllocs|TestAdaptiveShardParity|TestAdaptiveUniformMatchesGlobal' ./internal/core ./internal/dma ./internal/net
+
+ci: build vet statslint shardparity ringparity race benchdiff
 
 # Regenerate the perf-trajectory snapshot (raw simulated picoseconds;
 # byte-identical for any -procs value).
@@ -80,6 +89,14 @@ baseline-fault:
 baseline-scale:
 	$(GO) run ./cmd/clustersim -scale -bench -json -nodes 1000 -arrival 55000 -ms 10 > BENCH_scale.json
 	$(GO) run ./cmd/clustersim -scale -bench -json -protocol all -nodes 256 -arrival 5000 -ms 2 > BENCH_scalemachine.json
+
+# Regenerate the descriptor-ring snapshot: the ringdepth sweep (per-
+# transfer initiation cost and goodput per protocol at depths 1..64,
+# against the unbatched baseline) and the ringchurn oversubscription
+# grid (contexts x processes x arbitration policy). Exact simulated
+# time; cmd/benchdiff treats first-appearance leaves as added.
+baseline-ring:
+	$(GO) run ./cmd/dmabench -json -ring -ringchurn > BENCH_ring.json
 
 # Compare the current model's simulated-time numbers against the
 # committed baseline snapshot. Every value is exact simulated time, so

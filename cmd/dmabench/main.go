@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	dmabench [-iters N] [-sweep] [-contention] [-comparators] [-procs W] [-json]
+//	dmabench [-iters N] [-sweep] [-contention] [-comparators] [-ring] [-ringchurn] [-procs W] [-json]
 //
 // The default -iters 1000 matches the paper's measurement loop. Every
 // section is one experiment from the internal/exp registry (-list
@@ -37,6 +37,8 @@ func main() {
 	contention := flag.Bool("contention", false, "also run the register-context contention study")
 	comparators := flag.Bool("comparators", false, "also measure the comparator methods (SHRIMP, FLASH, PAL)")
 	breakeven := flag.Bool("breakeven", false, "also run the initiation-vs-transfer break-even sweep (X6)")
+	ring := flag.Bool("ring", false, "also run the descriptor-ring depth sweep (batched initiation)")
+	ringchurn := flag.Bool("ringchurn", false, "also run the register-context churn study (ring processes vs contexts)")
 	traceFlag := flag.Bool("trace", false, "show the bus transactions of one initiation per method")
 	trend := flag.Bool("trend", false, "also run the hardware-generation trend sweep (X7)")
 	metrics := flag.Bool("metrics", false, "with -json: append the per-method observability registry snapshot (exact event counts)")
@@ -57,7 +59,7 @@ func main() {
 	}
 
 	if *jsonOut {
-		if err := runJSON(*iters, *procs, *sweep, *comparators, *breakeven, *trend, *contention, *metrics); err != nil {
+		if err := runJSON(*iters, *procs, *sweep, *comparators, *breakeven, *trend, *contention, *ring, *ringchurn, *metrics); err != nil {
 			fmt.Fprintln(os.Stderr, "dmabench:", err)
 			exp.Exit(1)
 		}
@@ -81,7 +83,7 @@ func main() {
 			exp.Exit(1)
 		}
 	}
-	if err := run(*iters, *procs, *sweep, *contention, *comparators, *breakeven); err != nil {
+	if err := run(*iters, *procs, *sweep, *contention, *comparators, *breakeven, *ring, *ringchurn); err != nil {
 		fmt.Fprintln(os.Stderr, "dmabench:", err)
 		exp.Exit(1)
 	}
@@ -113,6 +115,8 @@ type benchJSON struct {
 	BreakEven   map[string][]exp.BreakEvenRow  `json:",omitempty"`
 	Trend       []exp.TrendRow                 `json:",omitempty"`
 	Contention  []exp.InitiationRow            `json:",omitempty"`
+	Ring        []exp.RingRow                  `json:",omitempty"`
+	RingChurn   []exp.ChurnRow                 `json:",omitempty"`
 	// Metrics (-metrics) is the per-method observability registry
 	// snapshot after a fixed initiation burst: exact event counts, so
 	// benchdiff flags any behavioural change even when timings agree.
@@ -120,7 +124,7 @@ type benchJSON struct {
 }
 
 // runJSON gathers every requested section and emits one JSON document.
-func runJSON(iters, procs int, sweep, comparators, breakeven, trend, contention, metrics bool) error {
+func runJSON(iters, procs int, sweep, comparators, breakeven, trend, contention, ring, ringchurn, metrics bool) error {
 	doc := benchJSON{Machine: exp.MachineName(), Iters: iters}
 
 	t1, err := exp.Table1(iters, procs)
@@ -162,6 +166,20 @@ func runJSON(iters, procs int, sweep, comparators, breakeven, trend, contention,
 			return err
 		}
 		doc.Contention = exp.InitRows(rs)
+	}
+	if ring {
+		r, err := exp.RunNamed("ringdepth", exp.Params{Iters: iters, Procs: procs})
+		if err != nil {
+			return err
+		}
+		doc.Ring = exp.RingRows(r)
+	}
+	if ringchurn {
+		r, err := exp.RunNamed("ringchurn", exp.Params{Procs: procs})
+		if err != nil {
+			return err
+		}
+		doc.RingChurn = exp.ChurnRows(r)
 	}
 	if metrics {
 		mv, err := exp.MetricsSnapshot(iters)
@@ -224,7 +242,7 @@ func runTrace() error {
 	return nil
 }
 
-func run(iters, procs int, sweep, contention, comparators, breakeven bool) error {
+func run(iters, procs int, sweep, contention, comparators, breakeven, ring, ringchurn bool) error {
 	infos, err := userdma.Overview()
 	if err != nil {
 		return err
@@ -267,6 +285,18 @@ func run(iters, procs int, sweep, contention, comparators, breakeven bool) error
 
 	if contention {
 		if err := section("contention", iters, procs); err != nil {
+			return err
+		}
+	}
+
+	if ring {
+		if err := section("ringdepth", iters, procs); err != nil {
+			return err
+		}
+	}
+
+	if ringchurn {
+		if err := section("ringchurn", iters, procs); err != nil {
 			return err
 		}
 	}

@@ -89,6 +89,13 @@ var goldenCases = []struct {
 	{"dmabench_breakeven.txt", "dmabench", []string{"-iters", "60", "-breakeven"}},
 	{"dmabench_trend.txt", "dmabench", []string{"-iters", "30", "-trend"}},
 	{"dmabench_all.json", "dmabench", []string{"-iters", "60", "-json", "-sweep", "-breakeven", "-trend", "-comparators", "-contention"}},
+	// The descriptor-ring surfaces: batched-initiation depth sweep and
+	// register-context churn, text + JSON, plus the report's markdown
+	// rendering. Both are opt-in flags, so the pre-ring goldens above
+	// stay byte-identical.
+	{"dmabench_ring.txt", "dmabench", []string{"-iters", "60", "-ring", "-ringchurn"}},
+	{"dmabench_ring.json", "dmabench", []string{"-iters", "60", "-json", "-ring", "-ringchurn"}},
+	{"report_ring.md", "report", []string{"-iters", "60", "-seeds", "2", "-ring"}},
 	{"report.md", "report", []string{"-iters", "100", "-seeds", "8"}},
 	{"report.json", "report", []string{"-iters", "100", "-json"}},
 	{"oslat.txt", "oslat", []string{"-iters", "1000"}},

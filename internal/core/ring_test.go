@@ -1,0 +1,113 @@
+package userdma
+
+import (
+	"testing"
+
+	"uldma/internal/kernel"
+)
+
+// TestRingDepthAmortizes is the headline acceptance check: for every
+// user-level protocol, amortized initiation cost falls monotonically
+// with ring depth, and depth 32 is at least 2x cheaper than depth 1.
+func TestRingDepthAmortizes(t *testing.T) {
+	for _, method := range []Method{ExtShadow{}, RepeatedPassing{Len: 5, Barriers: true}, KeyBased{}} {
+		prev := RingDepthResult{}
+		for i, depth := range []uint64{1, 2, 4, 8, 16, 32} {
+			r, err := MeasureRingDepth(method, 192, depth)
+			if err != nil {
+				t.Fatalf("%s depth %d: %v", method.Name(), depth, err)
+			}
+			if r.PerInit <= 0 {
+				t.Fatalf("%s depth %d: non-positive per-init %v", method.Name(), depth, r.PerInit)
+			}
+			if i > 0 && r.PerInit > prev.PerInit {
+				t.Errorf("%s: per-init rose from %v (depth %d) to %v (depth %d)",
+					method.Name(), prev.PerInit, prev.Depth, r.PerInit, depth)
+			}
+			if depth == 1 {
+				prev = r
+				continue
+			}
+			if depth == 32 && 2*r.PerInit > prev.PerInit {
+				// prev here is depth 16; recompute against depth 1 below.
+			}
+			prev = r
+		}
+		d1, err := MeasureRingDepth(method, 192, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d32, err := MeasureRingDepth(method, 192, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if 2*d32.PerInit > d1.PerInit {
+			t.Errorf("%s: depth-32 per-init %v not 2x cheaper than depth-1 %v",
+				method.Name(), d32.PerInit, d1.PerInit)
+		}
+	}
+}
+
+// TestRingDepthDeterministic re-measures one point and requires
+// byte-identical results including the machine fingerprint digest.
+func TestRingDepthDeterministic(t *testing.T) {
+	a, err := MeasureRingDepth(KeyBased{}, 96, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MeasureRingDepth(KeyBased{}, 96, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("reruns differ:\n%+v\n%+v", a, b)
+	}
+	if a.Posted != 96 || a.Doorbells == 0 || a.Completions == 0 {
+		t.Fatalf("implausible counters: %+v", a)
+	}
+	if a.GoodputMBps <= 0 {
+		t.Fatalf("no goodput measured: %+v", a)
+	}
+}
+
+// TestRingChurnPolicies runs each arbitration policy oversubscribed and
+// checks its signature behavior: FIFO/yield queue (waits observed, no
+// steals), steal revokes (steals observed, no waits), and every run is
+// deterministic under rerun.
+func TestRingChurnPolicies(t *testing.T) {
+	for _, tc := range []struct {
+		policy kernel.CtxPolicy
+		steals bool
+		waits  bool
+	}{
+		{kernel.CtxFIFO, false, true},
+		{kernel.CtxSteal, true, false},
+		{kernel.CtxYield, false, true},
+	} {
+		a, err := RingChurnBench(tc.policy, 16, 4, 3)
+		if err != nil {
+			t.Fatalf("%v: %v", tc.policy, err)
+		}
+		b, err := RingChurnBench(tc.policy, 16, 4, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("%v: reruns differ:\n%+v\n%+v", tc.policy, a, b)
+		}
+		if (a.Steals > 0) != tc.steals {
+			t.Errorf("%v: steals = %d, want >0 = %v", tc.policy, a.Steals, tc.steals)
+		}
+		if (a.Waits > 0) != tc.waits {
+			t.Errorf("%v: waits = %d, want >0 = %v", tc.policy, a.Waits, tc.waits)
+		}
+		if a.Doorbells == 0 || a.Posted == 0 {
+			t.Errorf("%v: no ring activity: %+v", tc.policy, a)
+		}
+		// Queueing policies pay acquire latency waiting for a holder;
+		// stealing acquires instantly (the victim pays instead).
+		if tc.waits && a.MeanAcquire <= 0 {
+			t.Errorf("%v: no acquire latency recorded", tc.policy)
+		}
+	}
+}

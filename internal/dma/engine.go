@@ -148,6 +148,9 @@ type Config struct {
 	CtxPageBase phys.Addr
 	ControlBase phys.Addr
 	AtomicBase  phys.Addr
+	// RingBase, if non-zero, places the descriptor-ring doorbell pages
+	// (one page per register context; see ring.go).
+	RingBase phys.Addr
 
 	// RemoteBase, if non-zero, marks decoded destination addresses at or
 	// above it as remote: node = (dst-RemoteBase)>>NodeShift, remote
@@ -219,6 +222,8 @@ func (c Config) WindowOf(addr phys.Addr) string {
 		return "control"
 	case in(c.AtomicBase, c.AtomicWindowSize()):
 		return "atomic"
+	case c.RingBase != 0 && in(c.RingBase, c.RingWindowSize()):
+		return "ring"
 	case c.RemoteBase != 0 && in(c.RemoteBase, c.RemoteWindowSize()):
 		return "remote"
 	default:
@@ -294,17 +299,20 @@ func (c Config) validate() error {
 // the obs counter cells on demand (the thin compatibility accessor
 // over the unified metrics plane).
 type Stats struct {
-	ShadowStores   uint64
-	ShadowLoads    uint64
-	KeyMismatches  uint64
-	SeqResets      uint64 // repeated-mode FSM resets
-	Started        uint64 // transfers accepted
-	Rejected       uint64 // initiations refused (validation, broken sequence)
-	Completed      uint64
-	BytesMoved     uint64
-	AtomicOps      uint64
-	RemoteStarted  uint64
-	AbortedPending uint64 // half-initiations discarded (SHRIMP-2/FLASH hooks)
+	ShadowStores    uint64
+	ShadowLoads     uint64
+	KeyMismatches   uint64
+	SeqResets       uint64 // repeated-mode FSM resets
+	Started         uint64 // transfers accepted
+	Rejected        uint64 // initiations refused (validation, broken sequence)
+	Completed       uint64
+	BytesMoved      uint64
+	AtomicOps       uint64
+	RemoteStarted   uint64
+	AbortedPending  uint64 // half-initiations discarded (SHRIMP-2/FLASH hooks)
+	RingDoorbells   uint64 // doorbell stores that kicked a walk
+	RingPosted      uint64 // descriptors consumed by walks
+	RingCompletions uint64 // completion records written back
 }
 
 // RemoteHandler delivers remote-write DMA payloads to another node. The
@@ -374,16 +382,25 @@ type Engine struct {
 	reserver BusReserver
 	ctr      counters
 
+	// rings holds the per-context descriptor rings (ring.go); the slice
+	// always matches ctxs in length, usable only when RingBase is set.
+	// ringZeroDefer is the startRing<->schedule handshake that lets the
+	// pooled ring completion record double as a zero-size transfer's
+	// finish event.
+	rings         []ringState
+	ringZeroDefer bool
+
 	// Allocation control for the per-message hot path. logging keeps the
 	// full transfer log (default); with it off, retired Transfer records
-	// are recycled. wordBuf carries single-word remote writes; freeBuf
-	// and freeShip pool remote payload buffers and in-flight ship
-	// records.
-	logging  bool
-	wordBuf  [8]byte
-	freeT    []*Transfer
-	freeBuf  [][]byte
-	freeShip []*remoteShip
+	// are recycled. wordBuf carries single-word remote writes; freeBuf,
+	// freeShip and freeRingC pool remote payload buffers, in-flight ship
+	// records and ring completion records.
+	logging   bool
+	wordBuf   [8]byte
+	freeT     []*Transfer
+	freeBuf   [][]byte
+	freeShip  []*remoteShip
+	freeRingC []*ringCompletion
 }
 
 // BusReserver lets the engine report the windows in which it masters
@@ -412,6 +429,7 @@ func New(cfg Config, clock *sim.Clock, events *sim.EventQueue, mem *phys.Memory)
 		mem:     mem,
 		ctxs:    make([]regContext, nCtx),
 		keys:    make([]uint64, nCtx),
+		rings:   make([]ringState, nCtx),
 		pageMap: make(map[phys.Addr]phys.Addr),
 		logging: true,
 	}
@@ -440,22 +458,29 @@ type counters struct {
 	atomicOps      obs.Counter
 	remoteStarted  obs.Counter
 	abortedPending obs.Counter
+
+	ringDoorbells   obs.Counter
+	ringPosted      obs.Counter
+	ringCompletions obs.Counter
 }
 
 // Stats returns a snapshot of the counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		ShadowStores:   e.ctr.shadowStores.Value(),
-		ShadowLoads:    e.ctr.shadowLoads.Value(),
-		KeyMismatches:  e.ctr.keyMismatches.Value(),
-		SeqResets:      e.ctr.seqResets.Value(),
-		Started:        e.ctr.started.Value(),
-		Rejected:       e.ctr.rejected.Value(),
-		Completed:      e.ctr.completed.Value(),
-		BytesMoved:     e.ctr.bytesMoved.Value(),
-		AtomicOps:      e.ctr.atomicOps.Value(),
-		RemoteStarted:  e.ctr.remoteStarted.Value(),
-		AbortedPending: e.ctr.abortedPending.Value(),
+		ShadowStores:    e.ctr.shadowStores.Value(),
+		ShadowLoads:     e.ctr.shadowLoads.Value(),
+		KeyMismatches:   e.ctr.keyMismatches.Value(),
+		SeqResets:       e.ctr.seqResets.Value(),
+		Started:         e.ctr.started.Value(),
+		Rejected:        e.ctr.rejected.Value(),
+		Completed:       e.ctr.completed.Value(),
+		BytesMoved:      e.ctr.bytesMoved.Value(),
+		AtomicOps:       e.ctr.atomicOps.Value(),
+		RemoteStarted:   e.ctr.remoteStarted.Value(),
+		AbortedPending:  e.ctr.abortedPending.Value(),
+		RingDoorbells:   e.ctr.ringDoorbells.Value(),
+		RingPosted:      e.ctr.ringPosted.Value(),
+		RingCompletions: e.ctr.ringCompletions.Value(),
 	}
 }
 
@@ -475,6 +500,9 @@ func (e *Engine) RegisterMetrics(r *obs.Registry) {
 	r.RegisterCounter("dma.atomic_ops", &e.ctr.atomicOps)
 	r.RegisterCounter("dma.remote_started", &e.ctr.remoteStarted)
 	r.RegisterCounter("dma.aborted_pending", &e.ctr.abortedPending)
+	r.RegisterCounter("dma.ring_doorbells", &e.ctr.ringDoorbells)
+	r.RegisterCounter("dma.ring_posted", &e.ctr.ringPosted)
+	r.RegisterCounter("dma.ring_completions", &e.ctr.ringCompletions)
 }
 
 // NumContexts returns the number of register contexts.
@@ -632,6 +660,7 @@ const (
 	winCtx
 	winControl
 	winAtomic
+	winRing
 	winRemote
 )
 
@@ -651,6 +680,11 @@ func (e *Engine) classify(addr phys.Addr) (window, uint64) {
 	if off := uint64(addr) - uint64(c.AtomicBase); uint64(addr) >= uint64(c.AtomicBase) && off < c.AtomicWindowSize() {
 		return winAtomic, off
 	}
+	if c.RingBase != 0 {
+		if off := uint64(addr) - uint64(c.RingBase); uint64(addr) >= uint64(c.RingBase) && off < c.RingWindowSize() {
+			return winRing, off
+		}
+	}
 	if c.RemoteBase != 0 {
 		if off := uint64(addr) - uint64(c.RemoteBase); uint64(addr) >= uint64(c.RemoteBase) && off < c.RemoteWindowSize() {
 			return winRemote, off
@@ -669,6 +703,8 @@ func (e *Engine) Load(now sim.Time, addr phys.Addr, size phys.AccessSize) (uint6
 		return e.ctxLoad(now, off)
 	case winControl:
 		return e.controlLoad(now, off)
+	case winRing:
+		return e.ringLoad(off)
 	case winAtomic:
 		// Plain loads in the atomic window read memory through the
 		// engine (useful for polling shared cells without local copies).
@@ -694,6 +730,8 @@ func (e *Engine) Store(now sim.Time, addr phys.Addr, size phys.AccessSize, val u
 		return e.ctxStore(now, off, val)
 	case winControl:
 		return e.controlStore(now, off, val)
+	case winRing:
+		return e.ringStore(now, off, val)
 	case winAtomic:
 		return 0, fmt.Errorf("dma: plain store at %v in atomic window (use RMW)", addr)
 	case winRemote:

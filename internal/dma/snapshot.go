@@ -28,6 +28,7 @@ type EngineSnapshot struct {
 	last    *Transfer
 	log     []*Transfer
 	busy    sim.Time
+	rings   []ringState
 	ctr     counters
 }
 
@@ -56,7 +57,15 @@ func (e *Engine) Snapshot() (*EngineSnapshot, error) {
 		last:    e.last,
 		log:     append([]*Transfer(nil), e.log...),
 		busy:    e.xfer.busyUntil,
+		rings:   append([]ringState(nil), e.rings...),
 		ctr:     e.ctr,
+	}
+	// ringState.allow is mutable (RingAllow appends, SetupRing truncates):
+	// give the snapshot its own extent slices.
+	for i := range s.rings {
+		if n := len(s.rings[i].allow); n > 0 {
+			s.rings[i].allow = append([]ringExtent(nil), s.rings[i].allow[:n]...)
+		}
 	}
 	if len(e.pageMap) > 0 {
 		s.pageMap = make(map[phys.Addr]phys.Addr, len(e.pageMap))
@@ -91,6 +100,11 @@ func (e *Engine) Restore(s *EngineSnapshot) error {
 	e.log = e.log[:0]
 	e.log = append(e.log, s.log...)
 	e.xfer.busyUntil = s.busy
+	for i := range e.rings {
+		r := s.rings[i]
+		r.allow = append(e.rings[i].allow[:0], r.allow...)
+		e.rings[i] = r
+	}
 	e.ctr = s.ctr
 	return nil
 }
@@ -170,5 +184,21 @@ func (e *Engine) StateHash() uint64 {
 		mix(0)
 	}
 	mix(uint64(e.curPID))
+	for i := range e.rings {
+		r := &e.rings[i]
+		if r.depth == 0 {
+			mix(0)
+			continue
+		}
+		mix(uint64(r.base))
+		mix(r.depth)
+		mix(r.head)
+		mix(r.inFlight)
+		mix(uint64(len(r.allow)))
+		for _, ext := range r.allow {
+			mix(uint64(ext.base))
+			mix(ext.size)
+		}
+	}
 	return h
 }

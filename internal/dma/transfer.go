@@ -32,6 +32,7 @@ type Transfer struct {
 	Failed bool
 
 	delivered bool
+	ring      bool // started by a descriptor-ring walk (see startRing)
 }
 
 // Remaining returns the bytes still to move at time now: the paper's
@@ -314,6 +315,12 @@ func (e *Engine) schedule(t *Transfer) {
 		return
 	}
 	if t.Size == 0 {
+		if e.ringZeroDefer {
+			// Ring path: the pooled completion record (ring.go) delivers
+			// finish at t.End, so nothing is scheduled here and the
+			// doorbell hot path stays allocation-free.
+			return
+		}
 		e.events.ScheduleFunc(t.End, func(sim.Time) { e.finish(t) })
 		return
 	}

@@ -112,6 +112,8 @@ type Obs struct {
 	Search []FaultSearchPoint         // faultsearch cells
 	Scale  []ScalePoint               // scale cells (sharded NOW runs)
 	ScaleM []ScaleMachinePoint        // scalemachine cells (hosted machine worlds)
+	Ring   []userdma.RingDepthResult  // ringdepth cells (batched initiation)
+	Churn  []userdma.RingChurnResult  // ringchurn cells (context oversubscription)
 }
 
 // Row is one generic latency-table row produced by the OS and cluster
@@ -231,6 +233,24 @@ func (r *Result) ScaleMachinePoints() []ScaleMachinePoint {
 	var out []ScaleMachinePoint
 	for _, c := range r.Cells {
 		out = append(out, c.Obs.ScaleM...)
+	}
+	return out
+}
+
+// RingPoints flattens the ringdepth observations in cell order.
+func (r *Result) RingPoints() []userdma.RingDepthResult {
+	var out []userdma.RingDepthResult
+	for _, c := range r.Cells {
+		out = append(out, c.Obs.Ring...)
+	}
+	return out
+}
+
+// ChurnPoints flattens the ringchurn observations in cell order.
+func (r *Result) ChurnPoints() []userdma.RingChurnResult {
+	var out []userdma.RingChurnResult
+	for _, c := range r.Cells {
+		out = append(out, c.Obs.Churn...)
 	}
 	return out
 }

@@ -359,3 +359,78 @@ func ClusterRows(r *Result) []ClusterRow {
 	}
 	return out
 }
+
+// RingRow is one ringdepth point as the tools serialise it. Depth 0 is
+// the protocol's unbatched baseline; BaselinePs repeats that baseline
+// on every row so a reader can compute Speedup without a join (and
+// Speedup carries it precomputed). Fingerprint is hex for the same
+// no-float-rounding reason as ScaleRow.
+type RingRow struct {
+	Method      string
+	Depth       uint64
+	Batches     int
+	Posted      uint64
+	PerInitPs   int64
+	BaselinePs  int64
+	Speedup     float64
+	GoodputMBps float64 `json:",omitempty"`
+	Doorbells   uint64
+	Completions uint64
+	Fingerprint string
+}
+
+// RingRows converts a ringdepth result into wire rows.
+func RingRows(r *Result) []RingRow {
+	points := r.RingPoints()
+	base := ringBaselines(points)
+	var out []RingRow
+	for _, pt := range points {
+		row := RingRow{
+			Method: pt.Method, Depth: pt.Depth,
+			Batches: pt.Batches, Posted: pt.Posted,
+			PerInitPs:   int64(pt.PerInit),
+			GoodputMBps: pt.GoodputMBps,
+			Doorbells:   pt.Doorbells, Completions: pt.Completions,
+			Fingerprint: fmt.Sprintf("%016x", pt.Fingerprint),
+		}
+		if bl, ok := base[pt.Method]; ok {
+			row.BaselinePs = int64(bl.PerInit)
+			if pt.PerInit > 0 {
+				row.Speedup = float64(bl.PerInit) / float64(pt.PerInit)
+			}
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// ChurnRow is one ringchurn point as the tools serialise it.
+type ChurnRow struct {
+	Policy        string
+	Procs         int
+	Contexts      int
+	Doorbells     uint64
+	Posted        uint64
+	Dropped       uint64
+	Steals        uint64
+	Waits         uint64
+	MeanAcquirePs int64
+	ElapsedPs     int64
+	Fingerprint   string
+}
+
+// ChurnRows converts a ringchurn result into wire rows.
+func ChurnRows(r *Result) []ChurnRow {
+	var out []ChurnRow
+	for _, pt := range r.ChurnPoints() {
+		out = append(out, ChurnRow{
+			Policy: pt.Policy, Procs: pt.Procs, Contexts: pt.Contexts,
+			Doorbells: pt.Doorbells, Posted: pt.Posted, Dropped: pt.Dropped,
+			Steals: pt.Steals, Waits: pt.Waits,
+			MeanAcquirePs: int64(pt.MeanAcquire),
+			ElapsedPs:     int64(pt.Elapsed),
+			Fingerprint:   fmt.Sprintf("%016x", pt.Fingerprint),
+		})
+	}
+	return out
+}

@@ -108,6 +108,8 @@ type Stats struct {
 	Syscalls    uint64
 	DMASyscalls uint64
 	Faults      uint64
+	CtxWaits    uint64
+	CtxSteals   uint64
 }
 
 // counters is the kernel's live metric storage. Copied by value into
@@ -116,6 +118,8 @@ type counters struct {
 	syscalls    obs.Counter
 	dmaSyscalls obs.Counter
 	faults      obs.Counter
+	ctxWaits    obs.Counter
+	ctxSteals   obs.Counter
 }
 
 // Kernel is one node's operating system.
@@ -133,6 +137,13 @@ type Kernel struct {
 	ctxOwner []proc.PID // register context -> owning process (0 = free)
 	keys     []uint64   // keys handed out per context (keyed mode)
 	procCtx  map[proc.PID]int
+
+	// Context-scheduling state (see ring.go): LRU use stamps for the
+	// steal policy and the FIFO queue of processes waiting for a
+	// context.
+	ctxUse     []uint64
+	useTick    uint64
+	ctxWaiters []*proc.Process
 
 	shrimp2Hook bool
 	flashHook   bool
@@ -166,6 +177,7 @@ func New(cfg Config, c *cpu.CPU, mem *phys.Memory, engine *dma.Engine, runner *p
 		ctxOwner:  make([]proc.PID, engine.NumContexts()),
 		keys:      make([]uint64, engine.NumContexts()),
 		procCtx:   make(map[proc.PID]int),
+		ctxUse:    make([]uint64, engine.NumContexts()),
 	}
 	runner.SetSyscallHandler(k)
 	// Ordinary process teardown (not a context-switch modification):
@@ -180,6 +192,8 @@ func (k *Kernel) Stats() Stats {
 		Syscalls:    k.ctr.syscalls.Value(),
 		DMASyscalls: k.ctr.dmaSyscalls.Value(),
 		Faults:      k.ctr.faults.Value(),
+		CtxWaits:    k.ctr.ctxWaits.Value(),
+		CtxSteals:   k.ctr.ctxSteals.Value(),
 	}
 }
 
@@ -189,6 +203,8 @@ func (k *Kernel) RegisterMetrics(r *obs.Registry) {
 	r.RegisterCounter("kernel.syscalls", &k.ctr.syscalls)
 	r.RegisterCounter("kernel.dma_syscalls", &k.ctr.dmaSyscalls)
 	r.RegisterCounter("kernel.faults", &k.ctr.faults)
+	r.RegisterCounter("kernel.ctx_waits", &k.ctr.ctxWaits)
+	r.RegisterCounter("kernel.ctx_steals", &k.ctr.ctxSteals)
 }
 
 // SetTracer attaches (or detaches, with nil) the structured trace
@@ -374,38 +390,24 @@ func (k *Kernel) AssignContext(p *proc.Process) (int, uint64, error) {
 		if k.ctxOwner[ctx] != 0 {
 			continue
 		}
-		k.ctxOwner[ctx] = p.PID()
-		k.procCtx[p.PID()] = ctx
-		if k.engine.Config().Mode == dma.ModeKeyed {
-			key := k.rng.Uint64()>>dma.KeyShift | 1 // non-zero ~56-bit key
-			k.keys[ctx] = key
-			if err := k.engine.SetKey(ctx, key); err != nil {
-				return 0, 0, err
-			}
-			// The register-context page is mapped into this process
-			// only: possession of the mapping is the access right.
-			ctxPA := k.engine.Config().CtxPage(ctx)
-			if err := p.AddressSpace().Map(CtxPageVA, ctxPA, vm.Read|vm.Write); err != nil {
-				return 0, 0, err
-			}
+		if err := k.grantContext(p, ctx); err != nil {
+			return 0, 0, err
 		}
 		return ctx, k.keys[ctx], nil
 	}
 	return 0, 0, fmt.Errorf("kernel: no free DMA register context (have %d)", len(k.ctxOwner))
 }
 
-// ReleaseContext frees p's register context at process exit.
+// ReleaseContext frees p's register context (at process exit, or
+// voluntarily under the cooperative-yield policy). The context's ring is
+// torn down and the head of the context wait queue, if any, is woken.
 func (k *Kernel) ReleaseContext(p *proc.Process) {
 	ctx, ok := k.procCtx[p.PID()]
 	if !ok {
 		return
 	}
-	delete(k.procCtx, p.PID())
-	k.ctxOwner[ctx] = 0
-	k.keys[ctx] = 0
-	if k.engine.Config().Mode == dma.ModeKeyed {
-		k.engine.SetKey(ctx, 0)
-	}
+	k.revokeContext(ctx)
+	k.wakeCtxWaiter()
 }
 
 // ContextOf returns the register context assigned to p, if any.

@@ -22,6 +22,8 @@ type Snapshot struct {
 	ctxOwner  []proc.PID
 	keys      []uint64
 	procCtx   map[proc.PID]int
+	ctxUse    []uint64
+	useTick   uint64
 	shrimp2   bool
 	flash     bool
 	palDMA    bool
@@ -48,6 +50,9 @@ func (k *Kernel) Snapshot() (*Snapshot, error) {
 	if len(k.watches) != 0 {
 		return nil, fmt.Errorf("kernel: cannot snapshot with %d processes blocked on remote-write watches", len(k.watches))
 	}
+	if len(k.ctxWaiters) != 0 {
+		return nil, fmt.Errorf("kernel: cannot snapshot with %d processes queued for a register context", len(k.ctxWaiters))
+	}
 	s := &Snapshot{
 		rngState:  k.rng.State(),
 		nextASID:  k.nextASID,
@@ -55,6 +60,8 @@ func (k *Kernel) Snapshot() (*Snapshot, error) {
 		ctxOwner:  append([]proc.PID(nil), k.ctxOwner...),
 		keys:      append([]uint64(nil), k.keys...),
 		procCtx:   make(map[proc.PID]int, len(k.procCtx)),
+		ctxUse:    append([]uint64(nil), k.ctxUse...),
+		useTick:   k.useTick,
 		shrimp2:   k.shrimp2Hook,
 		flash:     k.flashHook,
 		palDMA:    k.palDMA,
@@ -87,10 +94,13 @@ func (k *Kernel) Restore(s *Snapshot) error {
 	for pid, ctx := range s.procCtx {
 		k.procCtx[pid] = ctx
 	}
+	copy(k.ctxUse, s.ctxUse)
+	k.useTick = s.useTick
 	k.shrimp2Hook = s.shrimp2
 	k.flashHook = s.flash
 	k.palDMA = s.palDMA
 	k.watches = k.watches[:0]
+	k.ctxWaiters = k.ctxWaiters[:0]
 	k.ctr = s.ctr
 	return nil
 }

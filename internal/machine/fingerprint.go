@@ -27,7 +27,7 @@ package machine
 // samples analytically and advance the clock in one step.
 
 // FingerprintLen is the number of words in a Fingerprint.
-const FingerprintLen = 52
+const FingerprintLen = 55
 
 // Fingerprint is one machine-state sample. Compare deltas with Delta.
 type Fingerprint [FingerprintLen]uint64
@@ -121,6 +121,15 @@ func (m *Machine) Fingerprint() Fingerprint {
 	put(es.AtomicOps)
 	put(es.RemoteStarted)
 	put(es.AbortedPending)
+	// Ring-engine counters (linear): doorbells rung, descriptors
+	// posted, completion records written back. RingCompletions shares
+	// Completed's event-cadence caveat above, but unlike Completed it
+	// feeds a state the client CAN observe (the completion record in the
+	// descriptor slot), so it must brake fast-forwarding while ring
+	// deliveries are in flight.
+	put(es.RingDoorbells)
+	put(es.RingPosted)
+	put(es.RingCompletions)
 	busy, lastBounds, ctxBounds := m.Engine.FingerprintLinear()
 	put(uint64(busy))
 	put(uint64(lastBounds))

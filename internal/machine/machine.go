@@ -39,6 +39,9 @@ const (
 	CtxPageBase = phys.Addr(0x8000_0000)
 	// ControlBase is the engine's control page (kernel DMA registers).
 	ControlBase = phys.Addr(0x9000_0000)
+	// RingBase is the engine's descriptor-ring doorbell window (one
+	// page per register context).
+	RingBase = phys.Addr(0xA000_0000)
 	// ShadowBase is the engine's shadow window.
 	ShadowBase = phys.Addr(0x1_0000_0000)
 	// AtomicBase is the engine's atomic-operation window.
@@ -106,6 +109,7 @@ func Alpha3000TC(mode dma.Mode, seqLen int) Config {
 			CtxPageBase:    CtxPageBase,
 			ControlBase:    ControlBase,
 			AtomicBase:     AtomicBase,
+			RingBase:       RingBase,
 			RemoteBase:     RemoteWindow,
 			NodeShift:      NodeShift,
 			KeyCheckCycles: 2,
@@ -255,6 +259,7 @@ func assemble(cfg Config, clock *sim.Clock, events, cpuEvents *sim.EventQueue, h
 		{e.CtxPageBase, e.CtxWindowSize()},
 		{e.ControlBase, e.PageSize},
 		{e.AtomicBase, e.AtomicWindowSize()},
+		{e.RingBase, e.RingWindowSize()},
 		{e.RemoteBase, e.RemoteWindowSize()},
 	}
 	for _, w := range windows {

@@ -1,0 +1,192 @@
+package net
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"uldma/internal/sim"
+)
+
+// rackLatency is a two-rack topology: cheap wires inside a rack, a
+// 10x more expensive hop across. The spread is what adaptive windows
+// exploit — the global lookahead is pinned to the 2µs intra-rack floor,
+// while cross-rack influence is provably 20µs away.
+func rackLatency(nodes int) func(src, dst int) sim.Time {
+	half := nodes / 2
+	return func(src, dst int) sim.Time {
+		if (src < half) == (dst < half) {
+			return 2 * sim.Microsecond
+		}
+		return 20 * sim.Microsecond
+	}
+}
+
+func newRackGossip(nodes, shards int, seed uint64, adaptive bool) (*gossip, *ShardedCluster) {
+	c, err := NewShardedCluster(ShardedConfig{
+		Nodes: nodes, Shards: shards, Link: Gigabit(), Seed: seed,
+		Latency: rackLatency(nodes), Adaptive: adaptive,
+	})
+	if err != nil {
+		panic(err)
+	}
+	g := &gossip{c: c, nodes: nodes, got: make([]uint64, nodes)}
+	c.SetDeliver(g.deliver)
+	c.SetStateHook(g)
+	return g, c
+}
+
+// TestAdaptiveShardParity is the adaptive engine's determinism pin:
+// with per-shard horizons the window SEQUENCE depends on the layout,
+// but everything observable — fingerprint (which excludes the window
+// count in adaptive mode), per-node receive counts, totals — must stay
+// byte-identical at every shard and worker count.
+func TestAdaptiveShardParity(t *testing.T) {
+	const nodes, seed = 24, 7
+	ref, refC := newRackGossip(nodes, 1, seed, true)
+	ref.prime()
+	refFP, refTotals, refGot, _ := ref.run(t, 1)
+	_ = refC
+	if refTotals.Delivered == 0 {
+		t.Fatalf("degenerate reference run: %+v", refTotals)
+	}
+
+	for _, shards := range []int{1, 4, 8} {
+		for _, workers := range []int{1, 4, 8} {
+			name := fmt.Sprintf("shards=%d/workers=%d", shards, workers)
+			g, _ := newRackGossip(nodes, shards, seed, true)
+			g.prime()
+			fp, totals, got, _ := g.run(t, workers)
+			if fp != refFP {
+				t.Errorf("%s: fingerprint %016x, reference %016x", name, fp, refFP)
+			}
+			if !reflect.DeepEqual(got, refGot) {
+				t.Errorf("%s: per-node receive counts diverged", name)
+			}
+			// The window count is the one legitimately layout-dependent
+			// total; everything else must match exactly.
+			totals.Windows = refTotals.Windows
+			if totals != refTotals {
+				t.Errorf("%s: totals %+v, reference %+v", name, totals, refTotals)
+			}
+		}
+	}
+}
+
+// TestAdaptiveFewerBarriers pins the point of the whole exercise: on a
+// topology with spread-out latency floors, per-shard horizons need
+// fewer synchronizer barriers than the global-minimum window, while
+// moving exactly the same traffic.
+func TestAdaptiveFewerBarriers(t *testing.T) {
+	const nodes, seed, shards = 24, 7, 8
+	base, _ := newRackGossip(nodes, shards, seed, false)
+	base.prime()
+	_, baseTotals, _, _ := base.run(t, 1)
+
+	ad, _ := newRackGossip(nodes, shards, seed, true)
+	ad.prime()
+	_, adTotals, _, _ := ad.run(t, 1)
+
+	if adTotals.Sent != baseTotals.Sent || adTotals.Delivered != baseTotals.Delivered ||
+		adTotals.Bytes != baseTotals.Bytes || adTotals.Events != baseTotals.Events {
+		t.Errorf("adaptive moved different traffic: %+v vs %+v", adTotals, baseTotals)
+	}
+	if adTotals.Windows >= baseTotals.Windows {
+		t.Errorf("adaptive used %d windows, global lookahead %d — no barrier savings",
+			adTotals.Windows, baseTotals.Windows)
+	}
+}
+
+// TestAdaptiveUniformMatchesGlobal: with no latency matrix every floor
+// is the link latency, the closure is flat, and the per-shard bound
+// degenerates to the global one — traffic and per-node state match the
+// non-adaptive engine exactly.
+func TestAdaptiveUniformMatchesGlobal(t *testing.T) {
+	const nodes, seed, shards = 24, 99, 4
+	mk := func(adaptive bool) (*gossip, *ShardedCluster) {
+		c, err := NewShardedCluster(ShardedConfig{
+			Nodes: nodes, Shards: shards, Link: Gigabit(), Seed: seed, Adaptive: adaptive,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := &gossip{c: c, nodes: nodes, got: make([]uint64, nodes)}
+		c.SetDeliver(g.deliver)
+		return g, c
+	}
+	base, _ := mk(false)
+	base.prime()
+	_, baseTotals, baseGot, _ := base.run(t, 1)
+	ad, _ := mk(true)
+	ad.prime()
+	_, adTotals, adGot, _ := ad.run(t, 1)
+	if !reflect.DeepEqual(adGot, baseGot) {
+		t.Error("per-node receive counts diverged from the global engine")
+	}
+	adTotals.Windows = baseTotals.Windows
+	if adTotals != baseTotals {
+		t.Errorf("totals %+v, global engine %+v", adTotals, baseTotals)
+	}
+}
+
+// TestAdaptiveSnapshotRestore rewinds an adaptive world mid-life and
+// requires a byte-identical rerun (per-shard causality floors are part
+// of the snapshot).
+func TestAdaptiveSnapshotRestore(t *testing.T) {
+	const nodes, seed, shards = 24, 7, 4
+	g, c := newRackGossip(nodes, shards, seed, true)
+	g.prime()
+	if err := c.Run(1, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	sn, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second life from the captured instant.
+	for n := 0; n < nodes; n++ {
+		n := n
+		c.At(n, c.Now(n)+sim.Millisecond, func(now sim.Time) { g.burst(n, now) })
+	}
+	if err := c.Run(1, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	fp1 := c.Fingerprint()
+	got1 := append([]uint64(nil), g.got...)
+
+	if err := c.Restore(sn); err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < nodes; n++ {
+		n := n
+		c.At(n, c.Now(n)+sim.Millisecond, func(now sim.Time) { g.burst(n, now) })
+	}
+	if err := c.Run(1, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	if fp2 := c.Fingerprint(); fp2 != fp1 {
+		t.Errorf("rewound rerun fingerprint %016x != %016x", fp2, fp1)
+	}
+	if !reflect.DeepEqual(g.got, got1) {
+		t.Error("rewound rerun receive counts diverged")
+	}
+}
+
+// nullPlane is a fault plane that touches nothing; its mere presence
+// must be rejected by the adaptive engine (the plane's draw sequence
+// follows barrier composition, which adaptive windows make
+// layout-dependent).
+type nullPlane struct{}
+
+func (nullPlane) Judge(src, dst int, at sim.Time) Verdict { return Verdict{N: 1} }
+func (nullPlane) SnapshotState() any                      { return nil }
+func (nullPlane) RestoreState(any) error                  { return nil }
+
+func TestAdaptiveRejectsFaultPlane(t *testing.T) {
+	g, c := newRackGossip(8, 2, 1, true)
+	g.prime()
+	c.SetFaultPlane(nullPlane{})
+	if err := c.Run(1, 1<<20); err == nil {
+		t.Fatal("adaptive Run accepted a fault plane")
+	}
+}

@@ -14,6 +14,7 @@ type Event struct {
 	Fire func(now Time)
 
 	seq    uint64 // tie-breaker: FIFO among events with equal At
+	pri    uint64 // ranks before seq; 0 except via SchedulePri
 	index  int    // heap bookkeeping; see the sentinels below
 	pooled bool   // recycled through the queue's free list after firing
 }
@@ -108,7 +109,28 @@ func (q *EventQueue) ScheduleFunc(at Time, fire func(now Time)) {
 	} else {
 		e = &Event{pooled: true}
 	}
-	e.At, e.Fire, e.seq = at, fire, q.seq
+	e.At, e.Fire, e.seq, e.pri = at, fire, q.seq, 0
+	heap.Push(&q.h, e)
+}
+
+// SchedulePri is ScheduleFunc with an explicit priority word: events
+// with equal At fire in (pri, seq) order, so a caller that derives pri
+// from event CONTENT gets a same-instant ordering that does not depend
+// on scheduling order. The adaptive sharded synchronizer uses this to
+// keep message delivery order canonical when different shard layouts
+// flush the same messages at different barriers; everything else
+// schedules at pri 0 and keeps plain FIFO.
+func (q *EventQueue) SchedulePri(at Time, pri uint64, fire func(now Time)) {
+	q.seq++
+	var e *Event
+	if n := len(q.free); n > 0 {
+		e = q.free[n-1]
+		q.free[n-1] = nil
+		q.free = q.free[:n-1]
+	} else {
+		e = &Event{pooled: true}
+	}
+	e.At, e.Fire, e.seq, e.pri = at, fire, q.seq, pri
 	heap.Push(&q.h, e)
 }
 
@@ -192,13 +214,16 @@ func (q *EventQueue) Drain(start Time) Time {
 	return last
 }
 
-// eventHeap implements heap.Interface ordered by (At, seq).
+// eventHeap implements heap.Interface ordered by (At, pri, seq).
 type eventHeap []*Event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
 	if h[i].At != h[j].At {
 		return h[i].At < h[j].At
+	}
+	if h[i].pri != h[j].pri {
+		return h[i].pri < h[j].pri
 	}
 	return h[i].seq < h[j].seq
 }
