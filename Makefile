@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench ci baseline baseline-fault baseline-scale baseline-ring shardparity ringparity golden trace-golden statslint benchdiff profile
+.PHONY: all build vet test race bench ci baseline baseline-fault baseline-scale baseline-ring baseline-iommu shardparity ringparity iommuparity golden trace-golden statslint benchdiff profile
 
 all: ci
 
@@ -63,7 +63,17 @@ shardparity:
 ringparity:
 	$(GO) test -race -run 'TestRingDepthAmortizes|TestRingDepthDeterministic|TestRingChurnPolicies|TestRingSnapshotFidelity|TestRingDoorbellZeroAllocs|TestAdaptiveShardParity|TestAdaptiveUniformMatchesGlobal' ./internal/core ./internal/dma ./internal/net
 
-ci: build vet statslint shardparity ringparity race benchdiff
+# The virtual-address plane's contracts, run under the race detector:
+# a world snapshotted with a transfer PARKED mid-fault rewinds and
+# replays byte-identically (machine level and bare engine), Table 1's
+# ordering survives IOMMU-translated initiation, the three recovery
+# policies diverge under oversubscription yet replay exactly, the
+# vasweep/paging grids are worker-count invariant, and the warm VA
+# translate path stays at 0 allocs/op.
+iommuparity:
+	$(GO) test -race -run 'TestVAMidFaultSnapshotFidelity|TestVAParkedSnapshotRestore|TestVATranslateZeroAllocs|TestVATable1Ordering|TestPagingBenchPoliciesDiverge|TestVASweepParity|TestPagingParity' ./internal/core ./internal/dma ./internal/exp
+
+ci: build vet statslint shardparity ringparity iommuparity race benchdiff
 
 # Regenerate the perf-trajectory snapshot (raw simulated picoseconds;
 # byte-identical for any -procs value).
@@ -97,6 +107,14 @@ baseline-scale:
 # time; cmd/benchdiff treats first-appearance leaves as added.
 baseline-ring:
 	$(GO) run ./cmd/dmabench -json -ring -ringchurn > BENCH_ring.json
+
+# Regenerate the virtual-address DMA snapshot: Table 1 measured through
+# the IOMMU against the physical shadow window, the IOTLB hit-rate
+# sweep, and the paging recovery-policy grid. Exact simulated time plus
+# hex world fingerprints; cmd/benchdiff treats first-appearance leaves
+# as added, never as failures.
+baseline-iommu:
+	$(GO) run ./cmd/dmabench -json -va -paging > BENCH_iommu.json
 
 # Compare the current model's simulated-time numbers against the
 # committed baseline snapshot. Every value is exact simulated time, so

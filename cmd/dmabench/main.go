@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	dmabench [-iters N] [-sweep] [-contention] [-comparators] [-ring] [-ringchurn] [-procs W] [-json]
+//	dmabench [-iters N] [-sweep] [-contention] [-comparators] [-ring] [-ringchurn] [-va [-tlb E]] [-paging] [-procs W] [-json]
 //
 // The default -iters 1000 matches the paper's measurement loop. Every
 // section is one experiment from the internal/exp registry (-list
@@ -39,6 +39,9 @@ func main() {
 	breakeven := flag.Bool("breakeven", false, "also run the initiation-vs-transfer break-even sweep (X6)")
 	ring := flag.Bool("ring", false, "also run the descriptor-ring depth sweep (batched initiation)")
 	ringchurn := flag.Bool("ringchurn", false, "also run the register-context churn study (ring processes vs contexts)")
+	va := flag.Bool("va", false, "also run the virtual-address sweep (Table 1 through the IOMMU + IOTLB hit rate)")
+	paging := flag.Bool("paging", false, "also run the device-paging study (recovery policies under oversubscription)")
+	tlb := flag.Int("tlb", 0, "with -va: IOTLB entries for the hit-rate sweep (0 = 8)")
 	traceFlag := flag.Bool("trace", false, "show the bus transactions of one initiation per method")
 	trend := flag.Bool("trend", false, "also run the hardware-generation trend sweep (X7)")
 	metrics := flag.Bool("metrics", false, "with -json: append the per-method observability registry snapshot (exact event counts)")
@@ -58,8 +61,16 @@ func main() {
 		return
 	}
 
+	// The VA flags are validated before any simulation spins up, same
+	// contract as clustersim's -scale frontend: nonsense dies with exit
+	// status 2 and a flag-level message.
+	if err := validateVA(*va, *paging, *tlb, *iters); err != nil {
+		fmt.Fprintln(os.Stderr, "dmabench:", err)
+		exp.Exit(2)
+	}
+
 	if *jsonOut {
-		if err := runJSON(*iters, *procs, *sweep, *comparators, *breakeven, *trend, *contention, *ring, *ringchurn, *metrics); err != nil {
+		if err := runJSON(*iters, *procs, *sweep, *comparators, *breakeven, *trend, *contention, *ring, *ringchurn, *va, *paging, *tlb, *metrics); err != nil {
 			fmt.Fprintln(os.Stderr, "dmabench:", err)
 			exp.Exit(1)
 		}
@@ -83,7 +94,7 @@ func main() {
 			exp.Exit(1)
 		}
 	}
-	if err := run(*iters, *procs, *sweep, *contention, *comparators, *breakeven, *ring, *ringchurn); err != nil {
+	if err := run(*iters, *procs, *sweep, *contention, *comparators, *breakeven, *ring, *ringchurn, *va, *paging, *tlb); err != nil {
 		fmt.Fprintln(os.Stderr, "dmabench:", err)
 		exp.Exit(1)
 	}
@@ -91,6 +102,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dmabench:", err)
 		exp.Exit(1)
 	}
+}
+
+// validateVA rejects flag combinations the virtual-address sections
+// cannot run, before any machine is built.
+func validateVA(va, paging bool, tlb, iters int) error {
+	if tlb < 0 {
+		return fmt.Errorf("-tlb %d: the IOTLB needs at least one entry", tlb)
+	}
+	if tlb != 0 && !va {
+		return fmt.Errorf("-tlb sizes the vasweep IOTLB and needs -va")
+	}
+	if va && iters < 1 {
+		return fmt.Errorf("-iters %d: -va needs at least one initiation per cell", iters)
+	}
+	_ = paging // no knobs yet; the grid is fixed by the experiment spec
+	return nil
 }
 
 // section runs one registry experiment and prints its text rendering.
@@ -117,6 +144,9 @@ type benchJSON struct {
 	Contention  []exp.InitiationRow            `json:",omitempty"`
 	Ring        []exp.RingRow                  `json:",omitempty"`
 	RingChurn   []exp.ChurnRow                 `json:",omitempty"`
+	VASweep     []exp.VARow                    `json:",omitempty"`
+	IOTLB       []exp.IOTLBRow                 `json:",omitempty"`
+	Paging      []exp.PagingRow                `json:",omitempty"`
 	// Metrics (-metrics) is the per-method observability registry
 	// snapshot after a fixed initiation burst: exact event counts, so
 	// benchdiff flags any behavioural change even when timings agree.
@@ -124,7 +154,7 @@ type benchJSON struct {
 }
 
 // runJSON gathers every requested section and emits one JSON document.
-func runJSON(iters, procs int, sweep, comparators, breakeven, trend, contention, ring, ringchurn, metrics bool) error {
+func runJSON(iters, procs int, sweep, comparators, breakeven, trend, contention, ring, ringchurn, va, paging bool, tlb int, metrics bool) error {
 	doc := benchJSON{Machine: exp.MachineName(), Iters: iters}
 
 	t1, err := exp.Table1(iters, procs)
@@ -180,6 +210,21 @@ func runJSON(iters, procs int, sweep, comparators, breakeven, trend, contention,
 			return err
 		}
 		doc.RingChurn = exp.ChurnRows(r)
+	}
+	if va {
+		r, err := exp.RunNamed("vasweep", exp.Params{Iters: iters, Procs: procs, TLB: tlb})
+		if err != nil {
+			return err
+		}
+		doc.VASweep = exp.VARows(r)
+		doc.IOTLB = exp.IOTLBRows(r)
+	}
+	if paging {
+		r, err := exp.RunNamed("paging", exp.Params{Procs: procs})
+		if err != nil {
+			return err
+		}
+		doc.Paging = exp.PagingRows(r)
 	}
 	if metrics {
 		mv, err := exp.MetricsSnapshot(iters)
@@ -242,7 +287,7 @@ func runTrace() error {
 	return nil
 }
 
-func run(iters, procs int, sweep, contention, comparators, breakeven, ring, ringchurn bool) error {
+func run(iters, procs int, sweep, contention, comparators, breakeven, ring, ringchurn, va, paging bool, tlb int) error {
 	infos, err := userdma.Overview()
 	if err != nil {
 		return err
@@ -297,6 +342,20 @@ func run(iters, procs int, sweep, contention, comparators, breakeven, ring, ring
 
 	if ringchurn {
 		if err := section("ringchurn", iters, procs); err != nil {
+			return err
+		}
+	}
+
+	if va {
+		s, err := exp.Report("vasweep", exp.Text, exp.Params{Iters: iters, Procs: procs, TLB: tlb})
+		if err != nil {
+			return err
+		}
+		fmt.Print(s)
+	}
+
+	if paging {
+		if err := section("paging", iters, procs); err != nil {
 			return err
 		}
 	}

@@ -96,6 +96,13 @@ var goldenCases = []struct {
 	{"dmabench_ring.txt", "dmabench", []string{"-iters", "60", "-ring", "-ringchurn"}},
 	{"dmabench_ring.json", "dmabench", []string{"-iters", "60", "-json", "-ring", "-ringchurn"}},
 	{"report_ring.md", "report", []string{"-iters", "60", "-seeds", "2", "-ring"}},
+	// The virtual-address plane: Table 1 through the IOMMU + the IOTLB
+	// hit-rate sweep (-va) and the paging recovery-policy grid
+	// (-paging), text + JSON, plus the report's markdown rendering.
+	// All opt-in, so the earlier goldens stay byte-identical.
+	{"dmabench_va.txt", "dmabench", []string{"-iters", "60", "-va", "-paging"}},
+	{"dmabench_va.json", "dmabench", []string{"-iters", "60", "-json", "-va", "-paging"}},
+	{"report_va.md", "report", []string{"-iters", "60", "-seeds", "2", "-va"}},
 	{"report.md", "report", []string{"-iters", "100", "-seeds", "8"}},
 	{"report.json", "report", []string{"-iters", "100", "-json"}},
 	{"oslat.txt", "oslat", []string{"-iters", "1000"}},
@@ -160,7 +167,12 @@ func TestSmoke(t *testing.T) {
 		{"dmabench", "dmabench", []string{"-iters", "5"}, "Table 1"},
 		{"dmabench-list", "dmabench", []string{"-list"}, "bussweep"},
 		{"dmabench-trace", "dmabench", []string{"-iters", "5", "-trace"}, "bus transactions"},
+		{"dmabench-va", "dmabench", []string{"-iters", "5", "-va", "-tlb", "4"}, "IOTLB hit rate"},
+		{"dmabench-paging", "dmabench", []string{"-iters", "5", "-paging"}, "Device paging"},
+		{"dmabench-va-json", "dmabench", []string{"-iters", "5", "-json", "-va", "-paging", "-procs", "2"}, "\"Paging\""},
+		{"dmabench-list-va", "dmabench", []string{"-list"}, "vasweep"},
 		{"report", "report", []string{"-iters", "10", "-seeds", "2"}, "## F5/F6/F8"},
+		{"report-va", "report", []string{"-iters", "10", "-seeds", "2", "-va"}, "Device paging"},
 		{"report-list", "report", []string{"-list"}, "breakeven"},
 		{"report-json", "report", []string{"-iters", "10", "-json"}, "\"BusSweep\""},
 		{"oslat", "oslat", []string{"-iters", "200"}, "WITHIN BAND"},
@@ -187,6 +199,35 @@ func TestSmoke(t *testing.T) {
 			out := runTool(t, dir, tc.tool, tc.args...)
 			if !bytes.Contains(out, []byte(tc.want)) {
 				t.Fatalf("%s %v output lacks %q:\n%s", tc.tool, tc.args, tc.want, out)
+			}
+		})
+	}
+}
+
+// TestVAFlagRejection pins dmabench's virtual-address flag validation:
+// an invalid combination must die with exit status 2 and a flag-level
+// message before any simulation spins up, matching the -scale
+// precedent above.
+func TestVAFlagRejection(t *testing.T) {
+	dir := buildTools(t)
+	cases := []struct {
+		name string
+		args []string
+		want string // substring the stderr diagnostic must contain
+	}{
+		{"tlb-without-va", []string{"-tlb", "4"}, "needs -va"},
+		{"negative-tlb", []string{"-va", "-tlb", "-1"}, "-tlb -1"},
+		{"zero-iters", []string{"-va", "-iters", "0"}, "-iters 0"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			code, stderr := runToolErr(t, dir, "dmabench", tc.args...)
+			if code != 2 {
+				t.Fatalf("dmabench %v exited %d, want 2\n%s", tc.args, code, stderr)
+			}
+			if !bytes.Contains([]byte(stderr), []byte(tc.want)) {
+				t.Fatalf("dmabench %v stderr lacks %q:\n%s", tc.args, tc.want, stderr)
 			}
 		})
 	}

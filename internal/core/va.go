@@ -1,0 +1,368 @@
+package userdma
+
+// Measurement harnesses for the virtual-address DMA plane (the vasweep
+// and paging experiments in internal/exp).
+//
+// MeasureVAMethod is §3.4's methodology run through the IOMMU: the same
+// zero-length initiation loop as MeasureMethod, but every data page is
+// wired with Kernel.MapIOAS, so the process's shadow aliases point at
+// the engine's VA window and every protocol store carries a device
+// VIRTUAL address the engine translates at walk time. Because
+// initiation only passes arguments (translation is deferred to the
+// walk), the user-level instruction sequences are unchanged — the
+// experiment's claim is that Table 1's ordering survives the IOMMU.
+//
+// MeasureIOTLB streams full-page payloads over a working set of device
+// pages against a fixed-size IOTLB — the hit-rate sweep.
+//
+// PagingBench oversubscribes the kernel pager's residency budget and
+// scores the three mid-transfer fault recovery policies (stall-and-
+// resolve, bounce-buffer, kernel-assisted pin) by goodput and
+// tail latency.
+
+import (
+	"fmt"
+
+	"uldma/internal/dma"
+	"uldma/internal/machine"
+	"uldma/internal/phys"
+	"uldma/internal/proc"
+	"uldma/internal/sim"
+	"uldma/internal/stats"
+	"uldma/internal/vm"
+)
+
+// VAConfigFor returns the method's calibrated preset with the
+// virtual-address DMA plane enabled. tlbEntries <= 0 keeps the IOMMU's
+// default IOTLB size.
+func VAConfigFor(m Method, tlbEntries int) machine.Config {
+	cfg := machine.EnableVirtualDMA(ConfigFor(m))
+	if tlbEntries > 0 {
+		cfg.IOTLBEntries = tlbEntries
+	}
+	return cfg
+}
+
+// SetupVAPages is SetupPages' virtual-address twin: it allocates n data
+// pages at base in p's address space and wires each for IOMMU-translated
+// initiation on register context ctx (MapIOAS) instead of creating
+// physical shadow aliases.
+func SetupVAPages(m *machine.Machine, p *proc.Process, ctx int, base vm.VAddr, n int, prot vm.Prot) ([]phys.Addr, error) {
+	frames := make([]phys.Addr, 0, n)
+	ps := vm.VAddr(m.Cfg.PageSize)
+	for i := 0; i < n; i++ {
+		va := base + vm.VAddr(i)*ps
+		frame, err := m.Kernel.AllocPage(p.AddressSpace(), va, prot)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.Kernel.MapIOAS(p.AddressSpace(), ctx, va); err != nil {
+			return nil, err
+		}
+		frames = append(frames, frame)
+	}
+	return frames, nil
+}
+
+// MeasureVAMethod runs iters IOMMU-translated initiations of method on
+// a fresh machine built from cfg (use VAConfigFor) and returns the
+// timing summary — MeasureMethod's loop, §3.4 methodology included,
+// with the data pages wired through the IOMMU.
+func MeasureVAMethod(method Method, cfg machine.Config, iters int) (InitiationResult, error) {
+	m, err := machine.New(cfg)
+	if err != nil {
+		return InitiationResult{}, err
+	}
+	if m.IOMMU == nil {
+		return InitiationResult{}, fmt.Errorf("userdma: MeasureVAMethod: config has no IOMMU (use VAConfigFor)")
+	}
+	res := InitiationResult{
+		Method:     method.Name(),
+		Iterations: iters,
+		PaperMean:  PaperTable1[method.Name()],
+	}
+	var sample stats.Sample
+
+	var h *Handle
+	const srcBase, dstBase = vm.VAddr(0x10000), vm.VAddr(0x20000)
+	p := m.NewProcess("vabench", func(c *proc.Context) error {
+		if _, err := h.DMA(c, srcBase, dstBase, 0); err != nil {
+			return err
+		}
+		var conv convergence
+		for i := 0; i < iters; i++ {
+			off := vm.VAddr((i % 64) * 16)
+			start := m.Clock.Now()
+			st, err := h.DMA(c, srcBase+off, dstBase+off, 0)
+			if err != nil {
+				return err
+			}
+			dur := m.Clock.Now() - start
+			sample.Add(dur)
+			if st == dma.StatusFailure {
+				return fmt.Errorf("userdma: iteration %d refused", i)
+			}
+			// Zero-length initiations never walk (translation is a walk-
+			// time cost), so the IOTLB words in the engine's hash stay
+			// constant and the steady-state fast-forward still engages.
+			if fastForward && conv.observe(m.Fingerprint()) {
+				ffEngagements.Add(1)
+				remaining := iters - 1 - i
+				for r := 0; r < remaining; r++ {
+					sample.Add(dur)
+				}
+				m.Clock.AdvanceTo(m.Clock.Now() + conv.clockDelta()*sim.Time(remaining))
+				break
+			}
+		}
+		return nil
+	})
+	h, err = method.Attach(m, p)
+	if err != nil {
+		return res, err
+	}
+	if _, err := SetupVAPages(m, p, h.Context(), srcBase, 1, vm.Read|vm.Write); err != nil {
+		return res, err
+	}
+	if _, err := SetupVAPages(m, p, h.Context(), dstBase, 1, vm.Read|vm.Write); err != nil {
+		return res, err
+	}
+	if err := m.Run(proc.NewRoundRobin(1<<20), 1<<30); err != nil {
+		return res, err
+	}
+	if p.Err() != nil {
+		return res, p.Err()
+	}
+	res.Mean, res.Min, res.Max = sample.Mean(), sample.Min(), sample.Max()
+	return res, nil
+}
+
+// VACompareRow is one Table 1 row measured both ways: through the
+// physical shadow window (the paper's numbers) and through the IOMMU's
+// VA window.
+type VACompareRow struct {
+	Method     string
+	Iterations int
+	ShadowMean sim.Time // physical shadow-window initiation
+	VAMean     sim.Time // IOMMU-translated initiation
+	PaperMean  sim.Time
+}
+
+// VATable1 measures the paper's four rows shadow- and VA-initiated, in
+// the paper's order — the "does Table 1's ordering survive the IOMMU"
+// half of the vasweep experiment.
+func VATable1(iters int) ([]VACompareRow, error) {
+	var out []VACompareRow
+	for _, method := range Methods() {
+		sh, err := MeasureMethod(method, ConfigFor(method), iters)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", method.Name(), err)
+		}
+		va, err := MeasureVAMethod(method, VAConfigFor(method, 0), iters)
+		if err != nil {
+			return nil, fmt.Errorf("%s (va): %w", method.Name(), err)
+		}
+		out = append(out, VACompareRow{
+			Method:     method.Name(),
+			Iterations: iters,
+			ShadowMean: sh.Mean,
+			VAMean:     va.Mean,
+			PaperMean:  sh.PaperMean,
+		})
+	}
+	return out, nil
+}
+
+// IOTLBPoint is one (pages, tlbEntries) cell of the vasweep hit-rate
+// sweep.
+type IOTLBPoint struct {
+	Pages       int // device-page working set the transfers cycle over
+	TLBEntries  int
+	Transfers   int
+	Hits        uint64
+	Misses      uint64
+	HitRate     float64  // hits / (hits + misses)
+	PerTransfer sim.Time // mean initiate-to-delivered latency
+	Fingerprint uint64
+}
+
+// MeasureIOTLB streams transfers full-page payloads cyclically over a
+// working set of pages source pages against a tlbEntries-entry IOTLB
+// and reports the translation hit rate. Cycling is LRU's worst case, so
+// the hit rate collapses once the working set outgrows the IOTLB — the
+// knee the sweep is after.
+func MeasureIOTLB(pages, tlbEntries, transfers int) (IOTLBPoint, error) {
+	method := ExtShadow{}
+	cfg := VAConfigFor(method, tlbEntries)
+	m, err := machine.New(cfg)
+	if err != nil {
+		return IOTLBPoint{}, err
+	}
+	res := IOTLBPoint{Pages: pages, TLBEntries: tlbEntries, Transfers: transfers}
+
+	ps := vm.VAddr(cfg.PageSize)
+	const srcBase, dstBase = vm.VAddr(0x100000), vm.VAddr(0x80000)
+	var h *Handle
+	var sample stats.Sample
+	p := m.NewProcess("iotlb", func(c *proc.Context) error {
+		for i := 0; i < transfers; i++ {
+			src := srcBase + vm.VAddr(i%pages)*ps
+			start := m.Clock.Now()
+			st, err := h.DMA(c, src, dstBase, uint64(cfg.PageSize))
+			if err != nil {
+				return err
+			}
+			if st == dma.StatusFailure {
+				return fmt.Errorf("userdma: transfer %d refused", i)
+			}
+			// Wait for real delivery (the IOTLB penalty lands on the
+			// walk, not the initiation), so PerTransfer includes it.
+			if err := h.Wait(c, 1<<20); err != nil {
+				return err
+			}
+			sample.Add(m.Clock.Now() - start)
+		}
+		return nil
+	})
+	h, err = method.Attach(m, p)
+	if err != nil {
+		return res, err
+	}
+	if _, err := SetupVAPages(m, p, h.Context(), srcBase, pages, vm.Read|vm.Write); err != nil {
+		return res, err
+	}
+	if _, err := SetupVAPages(m, p, h.Context(), dstBase, 1, vm.Read|vm.Write); err != nil {
+		return res, err
+	}
+	if err := m.Run(proc.NewRoundRobin(1<<20), 1<<32); err != nil {
+		return res, err
+	}
+	if p.Err() != nil {
+		return res, p.Err()
+	}
+	m.Settle()
+	res.Hits, res.Misses = m.IOMMU.Hits(), m.IOMMU.Misses()
+	if total := res.Hits + res.Misses; total > 0 {
+		res.HitRate = float64(res.Hits) / float64(total)
+	}
+	res.PerTransfer = sample.Mean()
+	res.Fingerprint = fingerprintDigest(m.Fingerprint())
+	return res, nil
+}
+
+// PagingResult is one (policy, oversubscription) cell of the paging
+// experiment.
+type PagingResult struct {
+	Policy      string
+	Pages       int     // device-page working set (source side)
+	Budget      int     // pager residency budget
+	Oversub     float64 // working set (src + dst) over budget
+	Transfers   int
+	GoodputMBps float64
+	P50         sim.Time
+	P99         sim.Time
+	Faults      uint64 // device-side translation faults taken
+	Stalls      uint64 // stall-and-resolve suspensions
+	Bounced     uint64 // pages redirected through the bounce buffer
+	Pins        uint64 // kernel-assisted pre-pins
+	Evictions   uint64 // pager evictions (the oversubscription cost)
+	PageIns     uint64
+	Elapsed     sim.Time
+	Fingerprint uint64
+}
+
+// pagingPageIn is the modeled backing-store page-in latency. It dwarfs
+// the 2 µs IOTLB refill deliberately: the experiment separates policies
+// by how they overlap (or fail to overlap) this latency with the
+// stream.
+const pagingPageIn = 100 * sim.Microsecond
+
+// PagingBench streams transfers full-page payloads cyclically over a
+// pages-page working set with the kernel pager capped at budget
+// resident device pages, under the given mid-transfer fault recovery
+// policy. Cycling makes LRU evict exactly the page the stream needs
+// next once the budget is oversubscribed, so every lap faults — the
+// worst case the three policies are measured on.
+func PagingBench(policy dma.RecoveryPolicy, pages, budget, transfers int) (PagingResult, error) {
+	method := ExtShadow{}
+	cfg := VAConfigFor(method, 0)
+	m, err := machine.New(cfg)
+	if err != nil {
+		return PagingResult{}, err
+	}
+	m.Engine.SetRecoveryPolicy(policy)
+	if err := m.Kernel.EnablePager(budget, pagingPageIn); err != nil {
+		return PagingResult{}, err
+	}
+	res := PagingResult{
+		Policy:    policy.String(),
+		Pages:     pages,
+		Budget:    budget,
+		Oversub:   float64(pages+1) / float64(budget),
+		Transfers: transfers,
+	}
+
+	ps := vm.VAddr(cfg.PageSize)
+	const srcBase, dstBase = vm.VAddr(0x100000), vm.VAddr(0x80000)
+	var h *Handle
+	var sample stats.Sample
+	var elapsed sim.Time
+	p := m.NewProcess("paging", func(c *proc.Context) error {
+		t0 := m.Clock.Now()
+		for i := 0; i < transfers; i++ {
+			src := srcBase + vm.VAddr(i%pages)*ps
+			start := m.Clock.Now()
+			st, err := h.DMA(c, src, dstBase, uint64(cfg.PageSize))
+			if err != nil {
+				return err
+			}
+			if st == dma.StatusFailure {
+				return fmt.Errorf("userdma: transfer %d refused", i)
+			}
+			if err := h.Wait(c, 1<<20); err != nil {
+				return err
+			}
+			sample.Add(m.Clock.Now() - start)
+		}
+		elapsed = m.Clock.Now() - t0
+		return nil
+	})
+	h, err = method.Attach(m, p)
+	if err != nil {
+		return res, err
+	}
+	// Setup registers every device page with the pager; the ones past
+	// the budget are registered non-resident and page in on first use.
+	if _, err := SetupVAPages(m, p, h.Context(), srcBase, pages, vm.Read|vm.Write); err != nil {
+		return res, err
+	}
+	if _, err := SetupVAPages(m, p, h.Context(), dstBase, 1, vm.Read|vm.Write); err != nil {
+		return res, err
+	}
+	if err := m.Run(proc.NewRoundRobin(1<<20), 1<<32); err != nil {
+		return res, err
+	}
+	if p.Err() != nil {
+		return res, p.Err()
+	}
+	m.Settle()
+
+	moved := float64(transfers) * float64(cfg.PageSize)
+	if elapsed > 0 {
+		res.GoodputMBps = moved * float64(sim.Second) / float64(elapsed) / 1e6
+	}
+	res.P50, res.P99 = sample.Percentile(50), sample.Percentile(99)
+	get := func(name string) uint64 {
+		v, _ := m.Obs.Get(name)
+		return v
+	}
+	res.Faults = get("dma.va_faults")
+	res.Stalls = get("dma.va_stalls")
+	res.Bounced = get("dma.va_bounced")
+	res.Pins = get("dma.va_pins")
+	res.Evictions = get("kernel.pager_evictions")
+	res.PageIns = get("kernel.pager_page_ins")
+	res.Elapsed = elapsed
+	res.Fingerprint = fingerprintDigest(m.Fingerprint())
+	return res, nil
+}

@@ -23,7 +23,7 @@ func (e *Engine) shadowStore(now sim.Time, off uint64, val uint64) (int64, error
 	switch e.cfg.Mode {
 	case ModePaired:
 		_, pa := e.decodeShadow(off)
-		e.pending = pendingPair{dst: pa, size: val, pid: e.curPID, valid: true}
+		e.pending = pendingPair{dst: pa, size: val, pid: e.curPID, valid: true, virt: e.vaAcc, vctx: e.vaCtx}
 		return 0, nil
 
 	case ModeKeyed:
@@ -42,13 +42,16 @@ func (e *Engine) shadowStore(now sim.Time, off uint64, val uint64) (int64, error
 		switch {
 		case !c.haveDst:
 			c.dst, c.haveDst = pa, true
-		case !c.haveSrc:
+			c.virt, c.vctx = e.vaAcc, e.vaCtx
+		case !c.haveSrc && c.virt == e.vaAcc:
 			c.src, c.haveSrc = pa, true
 		default:
-			// Both set and no start consumed them: restart argument
-			// collection with this access as the new destination.
+			// Both set and no start consumed them — or the window switched
+			// mid-pair: restart argument collection with this access as the
+			// new destination.
 			c.dst, c.haveDst = pa, true
 			c.haveSrc = false
+			c.virt, c.vctx = e.vaAcc, e.vaCtx
 		}
 		return e.cfg.KeyCheckCycles, nil
 
@@ -64,12 +67,13 @@ func (e *Engine) shadowStore(now sim.Time, off uint64, val uint64) (int64, error
 		if e.cfg.NoRegContexts {
 			// Cheap variant: one global pending slot tagged with the
 			// context id; the load's context must match.
-			e.pending = pendingPair{dst: pa, size: val, pid: ctx, valid: true}
+			e.pending = pendingPair{dst: pa, size: val, pid: ctx, valid: true, virt: e.vaAcc, vctx: e.vaCtx}
 			return 0, nil
 		}
 		c := &e.ctxs[ctx]
 		c.dst, c.haveDst = pa, true
 		c.size, c.haveSize = val, true
+		c.virt, c.vctx = e.vaAcc, e.vaCtx
 		return 0, nil
 
 	case ModeRepeated:
@@ -103,7 +107,19 @@ func (e *Engine) shadowLoad(now sim.Time, off uint64) (uint64, int64, error) {
 		}
 		p := e.pending
 		e.pending.valid = false
-		t, ok := e.start(now, src, p.dst, p.size)
+		if p.virt != e.vaAcc {
+			// Half the pair came through the VA window and half did not:
+			// the arguments are in different address spaces, refuse.
+			e.ctr.rejected.Inc()
+			return StatusFailure, 0, nil
+		}
+		var t *Transfer
+		var ok bool
+		if p.virt {
+			t, ok = e.startVA(now, p.vctx, uint64(src), uint64(p.dst), p.size)
+		} else {
+			t, ok = e.start(now, src, p.dst, p.size)
+		}
 		if !ok {
 			return StatusFailure, 0, nil
 		}
@@ -122,7 +138,7 @@ func (e *Engine) shadowLoad(now sim.Time, off uint64) (uint64, int64, error) {
 			return StatusFailure, 0, fmt.Errorf("dma: shadow context %d out of range", ctx)
 		}
 		if e.cfg.NoRegContexts {
-			if !e.pending.valid || e.pending.pid != ctx {
+			if !e.pending.valid || e.pending.pid != ctx || e.pending.virt != e.vaAcc {
 				// Mismatched or missing pair: "the DMA operation is not
 				// started and an error code is returned".
 				e.pending.valid = false
@@ -131,7 +147,13 @@ func (e *Engine) shadowLoad(now sim.Time, off uint64) (uint64, int64, error) {
 			}
 			p := e.pending
 			e.pending.valid = false
-			t, ok := e.start(now, src, p.dst, p.size)
+			var t *Transfer
+			var ok bool
+			if p.virt {
+				t, ok = e.startVA(now, p.vctx, uint64(src), uint64(p.dst), p.size)
+			} else {
+				t, ok = e.start(now, src, p.dst, p.size)
+			}
 			if !ok {
 				return StatusFailure, 0, nil
 			}
@@ -139,9 +161,22 @@ func (e *Engine) shadowLoad(now sim.Time, off uint64) (uint64, int64, error) {
 		}
 		c := &e.ctxs[ctx]
 		if c.haveDst && c.haveSize {
+			if c.virt != e.vaAcc {
+				// The store and load straddled the VA window: refuse and
+				// consume the half-initiation.
+				c.haveDst, c.haveSize = false, false
+				e.ctr.rejected.Inc()
+				return StatusFailure, 0, nil
+			}
 			dst, size := c.dst, c.size
 			c.haveDst, c.haveSize = false, false
-			t, ok := e.startCtx(now, ctx, src, dst, size)
+			var t *Transfer
+			var ok bool
+			if c.virt {
+				t, ok = e.startCtxVA(now, ctx, c.vctx, uint64(src), uint64(dst), size)
+			} else {
+				t, ok = e.startCtx(now, ctx, src, dst, size)
+			}
 			if !ok {
 				return StatusFailure, 0, nil
 			}
@@ -191,8 +226,17 @@ func (e *Engine) ctxLoad(now sim.Time, off uint64) (uint64, int64, error) {
 	c := &e.ctxs[ctx]
 	if c.haveDst && c.haveSrc && c.haveSize {
 		src, dst, size := c.src, c.dst, c.size
+		virt, vctx := c.virt, c.vctx
 		c.haveDst, c.haveSrc, c.haveSize = false, false, false
-		t, ok := e.startCtx(now, ctx, src, dst, size)
+		var t *Transfer
+		var ok bool
+		if virt {
+			// Keyed-mode arguments collected through the VA window (the
+			// pair rule in shadowStore keeps src/dst in the same window).
+			t, ok = e.startCtxVA(now, ctx, vctx, uint64(src), uint64(dst), size)
+		} else {
+			t, ok = e.startCtx(now, ctx, src, dst, size)
+		}
 		if !ok {
 			return StatusFailure, 0, nil
 		}
@@ -353,6 +397,10 @@ type seqFSM struct {
 	addrs    [5]phys.Addr
 	size     uint64
 	haveSize bool
+	// virt/vctx: window tag of the sequence's FIRST access; a mid-
+	// sequence window switch is out-of-order and resets the FSM.
+	virt bool
+	vctx int
 }
 
 func (s *seqFSM) init(seqLen int) {
@@ -388,11 +436,14 @@ func (s *seqFSM) srcDst() (src, dst phys.Addr) {
 func (e *Engine) seqAccess(now sim.Time, kind accKind, pa phys.Addr, data uint64) uint64 {
 	s := &e.seq
 	ok := kind == s.pattern[s.idx] &&
+		(s.idx == 0 || s.virt == e.vaAcc) &&
 		(s.idx < 2 || pa == s.addrs[s.idx-2]) &&
 		(kind != accStore || !s.haveSize || data == s.size)
 	if !ok {
 		// "If it sees anything out of this order, the DMA engine resets
 		// itself" — and the offending access may begin a new sequence.
+		// A mid-sequence window switch (shadow <-> VA) counts as out of
+		// order: the addresses would be in different spaces.
 		s.reset()
 		e.ctr.seqResets.Inc()
 		if kind == s.pattern[0] {
@@ -400,12 +451,16 @@ func (e *Engine) seqAccess(now sim.Time, kind accKind, pa phys.Addr, data uint64
 			if kind == accStore {
 				s.size, s.haveSize = data, true
 			}
+			s.virt, s.vctx = e.vaAcc, e.vaCtx
 			s.idx = 1
 			return StatusAccepted
 		}
 		return StatusFailure
 	}
 	s.addrs[s.idx] = pa
+	if s.idx == 0 {
+		s.virt, s.vctx = e.vaAcc, e.vaCtx
+	}
 	if kind == accStore && !s.haveSize {
 		s.size, s.haveSize = data, true
 	}
@@ -416,8 +471,15 @@ func (e *Engine) seqAccess(now sim.Time, kind accKind, pa phys.Addr, data uint64
 	// Pattern complete: start the transfer.
 	src, dst := s.srcDst()
 	size := s.size
+	virt, vctx := s.virt, s.vctx
 	s.reset()
-	t, started := e.start(now, src, dst, size)
+	var t *Transfer
+	var started bool
+	if virt {
+		t, started = e.startVA(now, vctx, uint64(src), uint64(dst), size)
+	} else {
+		t, started = e.start(now, src, dst, size)
+	}
 	if !started {
 		return StatusFailure
 	}

@@ -151,6 +151,10 @@ type Config struct {
 	// RingBase, if non-zero, places the descriptor-ring doorbell pages
 	// (one page per register context; see ring.go).
 	RingBase phys.Addr
+	// VABase, if non-zero, places the virtual-address shadow window
+	// (one MemBits-sized region per translation context; see va.go).
+	// Requires an attached IOMMU (Engine.AttachIOMMU) to initiate.
+	VABase phys.Addr
 
 	// RemoteBase, if non-zero, marks decoded destination addresses at or
 	// above it as remote: node = (dst-RemoteBase)>>NodeShift, remote
@@ -168,6 +172,44 @@ type Config struct {
 	Bandwidth uint64
 	// MaxTransfer caps a single DMA's size (0 = limited only by memory).
 	MaxTransfer uint64
+
+	// IOTLBMissTime is the walk-time penalty a virtual transfer pays per
+	// IOTLB miss (va.go).
+	IOTLBMissTime sim.Time
+	// BounceBase/BouncePages place the pinned kernel bounce region the
+	// RecoverBounce policy redirects faulting destination pages into.
+	BounceBase  phys.Addr
+	BouncePages int
+}
+
+// numCtx returns the register/translation context count the
+// configuration implies (Contexts; 1<<CtxBits in extended mode; at
+// least 1).
+func (c Config) numCtx() int {
+	n := c.Contexts
+	if c.Mode == ModeExtended {
+		n = 1 << c.CtxBits
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// VAWindowSize returns the bus-window size of the virtual-address
+// shadow range (0 when VABase is unset).
+func (c Config) VAWindowSize() uint64 {
+	if c.VABase == 0 {
+		return 0
+	}
+	return uint64(c.numCtx()) << c.MemBits
+}
+
+// VAShadow returns the VA-window physical address encoding device
+// virtual address va for translation context ctx — the address the OS
+// maps into a process that initiates on virtual addresses.
+func (c Config) VAShadow(va uint64, ctx int) phys.Addr {
+	return c.VABase + phys.Addr(uint64(ctx)<<c.MemBits|va&(uint64(1)<<c.MemBits-1))
 }
 
 // ShadowWindowSize returns the bus-window size the shadow range needs.
@@ -224,6 +266,8 @@ func (c Config) WindowOf(addr phys.Addr) string {
 		return "atomic"
 	case c.RingBase != 0 && in(c.RingBase, c.RingWindowSize()):
 		return "ring"
+	case c.VABase != 0 && in(c.VABase, c.VAWindowSize()):
+		return "va"
 	case c.RemoteBase != 0 && in(c.RemoteBase, c.RemoteWindowSize()):
 		return "remote"
 	default:
@@ -292,6 +336,17 @@ func (c Config) validate() error {
 			return fmt.Errorf("dma: RemoteBase set but NodeShift is zero")
 		}
 	}
+	if c.BouncePages > 0 {
+		if c.VABase == 0 {
+			return fmt.Errorf("dma: bounce region configured without a VA window")
+		}
+		if uint64(c.BounceBase)%c.PageSize != 0 {
+			return fmt.Errorf("dma: BounceBase %v not page-aligned", c.BounceBase)
+		}
+		if uint64(c.BounceBase)+uint64(c.BouncePages)*c.PageSize > c.MemSize {
+			return fmt.Errorf("dma: bounce region %v+%d pages exceeds local memory", c.BounceBase, c.BouncePages)
+		}
+	}
 	return nil
 }
 
@@ -345,6 +400,10 @@ type regContext struct {
 	haveSrc, haveDst bool
 	haveSize         bool
 	cur              *Transfer
+	// virt marks the collected arguments as device VAs (set when they
+	// arrived through the VA window); vctx is their translation context.
+	virt bool
+	vctx int
 }
 
 // pendingPair is the single global half-initiation slot of ModePaired.
@@ -353,6 +412,9 @@ type pendingPair struct {
 	size  uint64
 	pid   int
 	valid bool
+	// virt/vctx: see regContext.
+	virt bool
+	vctx int
 }
 
 // Engine is the DMA engine device.
@@ -390,17 +452,32 @@ type Engine struct {
 	rings         []ringState
 	ringZeroDefer bool
 
+	// Virtual-address DMA state (va.go): the attached translator and
+	// fault resolver, the active recovery policy, transfers parked on a
+	// fault, the bounce-frame free list, the VA counters, and the
+	// transient window tag (vaAcc/vaCtx) set around a VA-window access
+	// so the shared decode FSMs know the collected argument is virtual.
+	iommu      Translator
+	resolver   FaultResolver
+	policy     RecoveryPolicy
+	vaParked   []*vaWalker
+	bounceFree []int32
+	vactr      vaCounters
+	vaAcc      bool
+	vaCtx      int
+
 	// Allocation control for the per-message hot path. logging keeps the
 	// full transfer log (default); with it off, retired Transfer records
 	// are recycled. wordBuf carries single-word remote writes; freeBuf,
-	// freeShip and freeRingC pool remote payload buffers, in-flight ship
-	// records and ring completion records.
+	// freeShip, freeRingC and freeVW pool remote payload buffers,
+	// in-flight ship records, ring completion records and VA walkers.
 	logging   bool
 	wordBuf   [8]byte
 	freeT     []*Transfer
 	freeBuf   [][]byte
 	freeShip  []*remoteShip
 	freeRingC []*ringCompletion
+	freeVW    []*vaWalker
 }
 
 // BusReserver lets the engine report the windows in which it masters
@@ -415,13 +492,7 @@ func New(cfg Config, clock *sim.Clock, events *sim.EventQueue, mem *phys.Memory)
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	nCtx := cfg.Contexts
-	if cfg.Mode == ModeExtended {
-		nCtx = 1 << cfg.CtxBits
-	}
-	if nCtx < 1 {
-		nCtx = 1
-	}
+	nCtx := cfg.numCtx()
 	e := &Engine{
 		cfg:     cfg,
 		clock:   clock,
@@ -432,6 +503,11 @@ func New(cfg Config, clock *sim.Clock, events *sim.EventQueue, mem *phys.Memory)
 		rings:   make([]ringState, nCtx),
 		pageMap: make(map[phys.Addr]phys.Addr),
 		logging: true,
+	}
+	// Bounce frames pop from the tail, so descending order hands them
+	// out 0, 1, 2, ... deterministically.
+	for i := int32(cfg.BouncePages) - 1; i >= 0; i-- {
+		e.bounceFree = append(e.bounceFree, i)
 	}
 	e.seq.init(cfg.SeqLen)
 	return e, nil
@@ -625,6 +701,12 @@ func (e *Engine) CheckInvariants(now sim.Time) error {
 	var bytes uint64
 	for i, t := range e.log {
 		if t.Failed {
+			if t.Virt {
+				// A virtual transfer can fail AFTER acceptance (unresolvable
+				// mid-transfer fault); it stays in the log as the record of
+				// what was attempted.
+				continue
+			}
 			return fmt.Errorf("dma: transfer %d in the accepted log is marked failed", i)
 		}
 		if t.End < t.Start {
@@ -639,6 +721,11 @@ func (e *Engine) CheckInvariants(now sim.Time) error {
 		}
 		if now >= t.End {
 			if !t.delivered {
+				if t.vw != nil {
+					// Parked on a fault (or mid-walk): the nominal End has
+					// passed but the real one has not been decided yet.
+					continue
+				}
 				return fmt.Errorf("dma: transfer %d past End (%v <= %v) but not delivered", i, t.End, now)
 			}
 			bytes += t.Size
@@ -662,6 +749,7 @@ const (
 	winAtomic
 	winRing
 	winRemote
+	winVA
 )
 
 func (e *Engine) classify(addr phys.Addr) (window, uint64) {
@@ -690,6 +778,11 @@ func (e *Engine) classify(addr phys.Addr) (window, uint64) {
 			return winRemote, off
 		}
 	}
+	if c.VABase != 0 {
+		if off := uint64(addr) - uint64(c.VABase); uint64(addr) >= uint64(c.VABase) && off < c.VAWindowSize() {
+			return winVA, off
+		}
+	}
 	return winNone, 0
 }
 
@@ -699,6 +792,8 @@ func (e *Engine) Load(now sim.Time, addr phys.Addr, size phys.AccessSize) (uint6
 	case winShadow:
 		e.ctr.shadowLoads.Inc()
 		return e.shadowLoad(now, off)
+	case winVA:
+		return e.vaLoad(now, off)
 	case winCtx:
 		return e.ctxLoad(now, off)
 	case winControl:
@@ -726,6 +821,8 @@ func (e *Engine) Store(now sim.Time, addr phys.Addr, size phys.AccessSize, val u
 	case winShadow:
 		e.ctr.shadowStores.Inc()
 		return e.shadowStore(now, off, val)
+	case winVA:
+		return e.vaStore(now, off, val)
 	case winCtx:
 		return e.ctxStore(now, off, val)
 	case winControl:

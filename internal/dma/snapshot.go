@@ -30,6 +30,40 @@ type EngineSnapshot struct {
 	busy    sim.Time
 	rings   []ringState
 	ctr     counters
+
+	// Virtual-address state (va.go). Parked transfers are the one
+	// exception to the records-immutable-post-settle rule — a resumed
+	// walker mutates its Transfer — so each is captured by VALUE with
+	// enough indices to re-point e.log/e.last/e.ctxs at a fresh copy.
+	policy     RecoveryPolicy
+	bounceFree []int32
+	vactr      vaCounters
+	parked     []vaParkedSnap
+}
+
+// vaParkedSnap captures one fault-parked transfer and its walker.
+type vaParkedSnap struct {
+	t      Transfer // value copy; vw re-attached on restore
+	logIdx int      // index in the transfer log (-1 impossible: logging required)
+	isLast bool     // transfer was e.last
+	ctxCur int      // register context whose cur pointed at it, or -1
+
+	ctx          int
+	srcVA, dstVA uint64
+	off          uint64
+	span         sim.Time
+	end0         sim.Time
+	penalty      sim.Time
+	lastFix      sim.Time
+	faultVA      uint64
+	faultWr      bool
+	faults       int
+	maxFaults    int
+
+	hasComp  bool // a ring completion was riding the walker
+	compSlot phys.Addr
+	compCtx  int32
+	compGen  uint32
 }
 
 // Snapshot captures the engine's register contexts, key table,
@@ -73,6 +107,41 @@ func (e *Engine) Snapshot() (*EngineSnapshot, error) {
 			s.pageMap[k] = v
 		}
 	}
+	s.policy = e.policy
+	s.vactr = e.vactr
+	s.bounceFree = append([]int32(nil), e.bounceFree...)
+	for _, w := range e.vaParked {
+		if w.fixups != 0 {
+			// Fix-up events drain at Settle; a non-zero count here means
+			// the world was not quiescent.
+			return nil, fmt.Errorf("dma: cannot snapshot with bounce fix-ups in flight")
+		}
+		ps := vaParkedSnap{
+			t: *w.t, logIdx: -1, isLast: e.last == w.t, ctxCur: -1,
+			ctx: w.ctx, srcVA: w.srcVA, dstVA: w.dstVA, off: w.off,
+			span: w.span, end0: w.end0, penalty: w.penalty, lastFix: w.lastFix,
+			faultVA: w.faultVA, faultWr: w.faultWr,
+			faults: w.faults, maxFaults: w.maxFaults,
+		}
+		ps.t.vw = nil
+		for i, t := range e.log {
+			if t == w.t {
+				ps.logIdx = i
+				break
+			}
+		}
+		for i := range e.ctxs {
+			if e.ctxs[i].cur == w.t {
+				ps.ctxCur = i
+				break
+			}
+		}
+		if c := w.comp; c != nil {
+			ps.hasComp = true
+			ps.compSlot, ps.compCtx, ps.compGen = c.slot, c.ctx, c.gen
+		}
+		s.parked = append(s.parked, ps)
+	}
 	return s, nil
 }
 
@@ -106,6 +175,50 @@ func (e *Engine) Restore(s *EngineSnapshot) error {
 		e.rings[i] = r
 	}
 	e.ctr = s.ctr
+	e.policy = s.policy
+	e.vactr = s.vactr
+	e.bounceFree = append(e.bounceFree[:0], s.bounceFree...)
+	// Drop the current parked set (their transfers are being discarded
+	// wholesale), then rebuild each snapshotted one around a FRESH
+	// Transfer copy, re-pointing the log/last/context-cur references that
+	// named the original record.
+	for _, w := range e.vaParked {
+		if c := w.comp; c != nil {
+			w.comp = nil
+			c.t = nil
+			e.freeRingC = append(e.freeRingC, c)
+		}
+		w.t = nil
+		e.putVW(w)
+	}
+	e.vaParked = e.vaParked[:0]
+	for _, ps := range s.parked {
+		nt := new(Transfer)
+		*nt = ps.t
+		w := e.getVW()
+		w.t, w.ctx = nt, ps.ctx
+		w.srcVA, w.dstVA, w.off = ps.srcVA, ps.dstVA, ps.off
+		w.span, w.end0, w.penalty, w.lastFix = ps.span, ps.end0, ps.penalty, ps.lastFix
+		w.faultVA, w.faultWr = ps.faultVA, ps.faultWr
+		w.faults, w.maxFaults = ps.faults, ps.maxFaults
+		w.parked = true
+		nt.vw = w
+		if ps.logIdx >= 0 && ps.logIdx < len(e.log) {
+			e.log[ps.logIdx] = nt
+		}
+		if ps.isLast {
+			e.last = nt
+		}
+		if ps.ctxCur >= 0 && ps.ctxCur < len(e.ctxs) {
+			e.ctxs[ps.ctxCur].cur = nt
+		}
+		if ps.hasComp {
+			c := e.getRingC()
+			c.t, c.slot, c.ctx, c.gen, c.zero = nt, ps.compSlot, ps.compCtx, ps.compGen, false
+			w.comp = c
+		}
+		e.vaParked = append(e.vaParked, w)
+	}
 	return nil
 }
 
@@ -198,6 +311,38 @@ func (e *Engine) StateHash() uint64 {
 		for _, ext := range r.allow {
 			mix(uint64(ext.base))
 			mix(ext.size)
+		}
+	}
+	if e.iommu != nil {
+		// Virtual-address state, gated on the IOMMU so engines without
+		// one hash exactly as before. Note the IOMMU hash includes
+		// monotonic words (IOTLB stats): measurement loops that move VA
+		// traffic will never converge analytically — accepted; shadow-only
+		// loops on an IOMMU-attached machine leave this state untouched
+		// and converge as usual.
+		mix(e.iommu.IOStateHash())
+		mix(uint64(e.policy))
+		mix(uint64(len(e.bounceFree)))
+		var vaRings uint64
+		for i := range e.rings {
+			if e.rings[i].va {
+				vaRings |= 1 << uint(i&63)
+			}
+		}
+		mix(vaRings)
+		mix(uint64(len(e.vaParked)))
+		for _, w := range e.vaParked {
+			mix(uint64(w.ctx))
+			mix(w.srcVA)
+			mix(w.dstVA)
+			mix(w.off)
+			mix(uint64(w.penalty))
+			mix(w.faultVA)
+			if w.faultWr {
+				mix(1)
+			} else {
+				mix(0)
+			}
 		}
 	}
 	return h

@@ -27,12 +27,20 @@ type Transfer struct {
 	Node       int
 	RemoteAddr phys.Addr
 
-	// Failed marks a transfer that was rejected at validation time; it
-	// never moved data.
+	// Failed marks a transfer that was rejected at validation time (or,
+	// for a virtual transfer, failed on an unresolvable mid-transfer
+	// fault); it never (fully) moved data.
 	Failed bool
 
+	// Virt marks a transfer initiated on device virtual addresses: Src
+	// and Dst hold device VAs for translation context VCtx, translated
+	// at walk time through the engine's IOMMU (va.go).
+	Virt bool
+	VCtx int
+
 	delivered bool
-	ring      bool // started by a descriptor-ring walk (see startRing)
+	ring      bool      // started by a descriptor-ring walk (see startRing)
+	vw        *vaWalker // in-flight virtual delivery state (nil once done)
 }
 
 // Remaining returns the bytes still to move at time now: the paper's
@@ -41,6 +49,12 @@ type Transfer struct {
 func (t *Transfer) Remaining(now sim.Time) uint64 {
 	if t.Failed {
 		return StatusFailure
+	}
+	if t.vw != nil && !t.delivered && now >= t.End {
+		// A virtual transfer past its nominal End but still walking (or
+		// parked on a fault): the real End is still moving, so report the
+		// minimum in-progress count rather than completion.
+		return 1
 	}
 	if now >= t.End || t.Size == 0 {
 		return 0
@@ -61,7 +75,7 @@ func (t *Transfer) Remaining(now sim.Time) uint64 {
 }
 
 // Done reports whether the payload has been delivered.
-func (t *Transfer) Done(now sim.Time) bool { return !t.Failed && now >= t.End }
+func (t *Transfer) Done(now sim.Time) bool { return !t.Failed && now >= t.End && t.vw == nil }
 
 // busyUntil tracks the single-channel queueing (stored on the engine).
 type transferEngine struct {

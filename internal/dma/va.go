@@ -1,0 +1,860 @@
+package dma
+
+// Virtual-address DMA (the IOMMU path). The paper's shadow-address
+// trick exists because this engine consumes *physical* addresses; its
+// successors (Psistakis/Katevenis: IOMMU support for virtual-address
+// remote DMA) put an I/O MMU between the engine and memory so user code
+// initiates on device virtual addresses instead. This file is the
+// engine half of that design:
+//
+//   - a VA shadow window (Config.VABase), laid out exactly like the
+//     extended shadow window — ctx<<MemBits | va — whose accesses run
+//     the SAME per-mode decode FSMs as the physical shadow window, but
+//     tag the collected arguments as virtual. A transfer initiated
+//     through the VA window carries (ctx, srcVA, dstVA) and translates
+//     at WALK time, chunk by chunk, through the attached Translator;
+//   - a vaWalker per in-flight virtual transfer: it streams the payload
+//     in transferChunk bursts split on device-page boundaries, charges
+//     Config.IOTLBMissTime per IOTLB miss, and turns translation
+//     faults over to the engine's recovery policy;
+//   - three recovery policies for a fault that strikes mid-transfer:
+//     stall-and-resolve (park the transfer, kernel resolves, engine
+//     resumes), bounce-buffer (redirect the faulting destination page
+//     into a pinned bounce region and fix it up with a copy once the
+//     kernel has paged the real frame in), and kernel-assisted pin
+//     (pre-fault + pin the whole extent at initiation — the RDMA
+//     memory-registration baseline, which can never fault mid-flight).
+//
+// Determinism: walkers and fix-ups are ordinary pooled event-queue
+// work; parked walkers are pure data and snapshot/restore with the
+// engine (snapshot.go), so a faulted transfer replays byte-identically
+// from (seed, plan).
+//
+// Timing model: a virtual transfer's nominal schedule is the same
+// bandwidth line a physical transfer follows; IOTLB misses and fault
+// stalls accumulate into a per-transfer penalty that pushes every
+// subsequent chunk (and the final End) back. Penalties discovered
+// mid-stream do not retroactively requeue transfers that were accepted
+// earlier — a deliberate approximation that keeps acceptance analytic.
+
+import (
+	"errors"
+	"fmt"
+
+	"uldma/internal/obs"
+	"uldma/internal/phys"
+	"uldma/internal/sim"
+)
+
+// Translator is the engine's view of the IOMMU (implemented by
+// internal/iommu, which depends on this package's sibling layers; the
+// interface keeps dma free of that import).
+type Translator interface {
+	// TranslateIO resolves (ctx, va) for a device access. hit reports
+	// an IOTLB hit; the engine charges Config.IOTLBMissTime when false.
+	TranslateIO(ctx int, va uint64, write bool) (phys.Addr, bool, error)
+	// IOPageSize returns the device page size (must equal the engine's).
+	IOPageSize() uint64
+	// IOContexts returns the number of device translation contexts.
+	IOContexts() int
+	// IOStateHash folds the IOMMU's complete state into one word; the
+	// engine mixes it into its own StateHash.
+	IOStateHash() uint64
+}
+
+// ErrFaultPending is returned by a FaultResolver that cannot resolve a
+// fault inline (no pager, page truly absent): the engine parks the
+// transfer until ResumeFaulted.
+var ErrFaultPending = errors.New("dma: fault resolution pending")
+
+// FaultResolver is the kernel's fault/pin service (implemented by
+// internal/kernel). Latencies are simulated time the operation costs.
+type FaultResolver interface {
+	// ResolveFault makes (ctx, va) resident, returning the page-in
+	// latency. ErrFaultPending parks the transfer (stall policy).
+	ResolveFault(ctx int, va uint64, write bool) (sim.Time, error)
+	// PinRange pre-faults and pins [va, va+size) (pin policy).
+	PinRange(ctx int, va, size uint64, write bool) (sim.Time, error)
+	// UnpinRange releases a pin taken by PinRange.
+	UnpinRange(ctx int, va, size uint64)
+}
+
+// RecoveryPolicy selects what the engine does when a translation fault
+// strikes mid-transfer.
+type RecoveryPolicy uint8
+
+const (
+	// RecoverStall parks the transfer on the fault and resumes it once
+	// the kernel has resolved the page (the default).
+	RecoverStall RecoveryPolicy = iota
+	// RecoverBounce redirects a faulting DESTINATION page into the
+	// pinned bounce region and schedules a fix-up copy; source faults
+	// still stall (there is no data to redirect on a read fault).
+	RecoverBounce
+	// RecoverPin pre-faults and pins both extents at initiation, so no
+	// mid-transfer fault is possible — RDMA memory registration.
+	RecoverPin
+)
+
+// String names the policy ("stall", "bounce", "pin").
+func (p RecoveryPolicy) String() string {
+	switch p {
+	case RecoverStall:
+		return "stall"
+	case RecoverBounce:
+		return "bounce"
+	case RecoverPin:
+		return "pin"
+	default:
+		return fmt.Sprintf("policy(%d)", uint8(p))
+	}
+}
+
+// ParseRecoveryPolicy maps a policy name to its value.
+func ParseRecoveryPolicy(s string) (RecoveryPolicy, error) {
+	switch s {
+	case "stall":
+		return RecoverStall, nil
+	case "bounce":
+		return RecoverBounce, nil
+	case "pin":
+		return RecoverPin, nil
+	default:
+		return 0, fmt.Errorf("dma: unknown recovery policy %q (want stall, bounce or pin)", s)
+	}
+}
+
+// vaCounters are the virtual-address path's obs cells, registered
+// separately from the physical counters (RegisterVAMetrics) so worlds
+// without an IOMMU keep their registry dump byte-identical.
+type vaCounters struct {
+	vaStores  obs.Counter // VA-window stores
+	vaLoads   obs.Counter // VA-window loads
+	vaStarted obs.Counter // virtual transfers accepted
+	vaFaults  obs.Counter // mid-transfer translation faults
+	vaStalls  obs.Counter // faults handled by stalling (parked or resolved inline)
+	vaBounced obs.Counter // destination pages redirected into the bounce region
+	vaPins    obs.Counter // transfers that pre-pinned their extents
+}
+
+// RegisterVAMetrics publishes the virtual-address counters. The machine
+// calls this only when an IOMMU is configured.
+func (e *Engine) RegisterVAMetrics(r *obs.Registry) {
+	r.RegisterCounter("dma.va_stores", &e.vactr.vaStores)
+	r.RegisterCounter("dma.va_loads", &e.vactr.vaLoads)
+	r.RegisterCounter("dma.va_started", &e.vactr.vaStarted)
+	r.RegisterCounter("dma.va_faults", &e.vactr.vaFaults)
+	r.RegisterCounter("dma.va_stalls", &e.vactr.vaStalls)
+	r.RegisterCounter("dma.va_bounced", &e.vactr.vaBounced)
+	r.RegisterCounter("dma.va_pins", &e.vactr.vaPins)
+}
+
+// AttachIOMMU plugs the translator in. Its geometry must match the
+// engine's (same page size, at least as many contexts).
+func (e *Engine) AttachIOMMU(io Translator) error {
+	if io.IOPageSize() != e.cfg.PageSize {
+		return fmt.Errorf("dma: IOMMU page size %d != engine page size %d", io.IOPageSize(), e.cfg.PageSize)
+	}
+	if io.IOContexts() < len(e.ctxs) {
+		return fmt.Errorf("dma: IOMMU has %d contexts, engine has %d", io.IOContexts(), len(e.ctxs))
+	}
+	e.iommu = io
+	return nil
+}
+
+// IOMMU returns the attached translator (nil when the engine runs pure
+// shadow addressing).
+func (e *Engine) IOMMU() Translator { return e.iommu }
+
+// SetFaultResolver attaches the kernel's fault/pin service.
+func (e *Engine) SetFaultResolver(fr FaultResolver) { e.resolver = fr }
+
+// SetRecoveryPolicy selects the mid-transfer fault policy. RecoverPin
+// requires a resolver at initiation time.
+func (e *Engine) SetRecoveryPolicy(p RecoveryPolicy) { e.policy = p }
+
+// Policy returns the active recovery policy.
+func (e *Engine) Policy() RecoveryPolicy { return e.policy }
+
+// ParkedTransfers returns how many transfers are parked on a fault.
+func (e *Engine) ParkedTransfers() int { return len(e.vaParked) }
+
+// decodeVA splits a VA-window offset into (ctx, device VA) — the same
+// ctx<<MemBits | va layout the extended shadow window uses.
+func (e *Engine) decodeVA(off uint64) (int, uint64) {
+	return int(off >> e.cfg.MemBits), off & (uint64(1)<<e.cfg.MemBits - 1)
+}
+
+// vaStore handles a store into the VA window: the same per-mode decode
+// as a shadow store, with the collected argument tagged virtual. The
+// original offset is passed through — decodeShadow masks to MemBits in
+// the non-extended modes and extracts the same high bits in extended
+// mode, so the FSMs see the device VA (and, in extended mode, the same
+// context id) they would have seen for a physical shadow access.
+func (e *Engine) vaStore(now sim.Time, off uint64, val uint64) (int64, error) {
+	e.vactr.vaStores.Inc()
+	ctx, _ := e.decodeVA(off)
+	e.vaAcc, e.vaCtx = true, ctx
+	lat, err := e.shadowStore(now, off, val)
+	e.vaAcc = false
+	return lat, err
+}
+
+// vaLoad handles a load from the VA window (see vaStore).
+func (e *Engine) vaLoad(now sim.Time, off uint64) (uint64, int64, error) {
+	e.vactr.vaLoads.Inc()
+	ctx, _ := e.decodeVA(off)
+	e.vaAcc, e.vaCtx = true, ctx
+	v, lat, err := e.shadowLoad(now, off)
+	e.vaAcc = false
+	return v, lat, err
+}
+
+// validateVA checks a virtual transfer request. Addresses are device
+// VAs; residency is NOT checked here — that is what the walker's fault
+// path is for.
+func (e *Engine) validateVA(ctx int, srcVA, dstVA, size uint64) bool {
+	if e.iommu == nil {
+		return false
+	}
+	if ctx < 0 || ctx >= e.iommu.IOContexts() {
+		return false
+	}
+	if e.cfg.MaxTransfer != 0 && size > e.cfg.MaxTransfer {
+		return false
+	}
+	limit := uint64(1) << e.cfg.MemBits
+	if srcVA > limit || srcVA+size > limit {
+		return false
+	}
+	if dstVA > limit || dstVA+size > limit {
+		return false
+	}
+	if e.policy == RecoverPin && e.resolver == nil {
+		return false
+	}
+	return true
+}
+
+// startVA accepts or rejects a virtual transfer. Acceptance mirrors
+// start(): the nominal schedule is the same bandwidth line; delivery is
+// a vaWalker that translates every burst. Under RecoverPin both extents
+// are pinned first and the pin latency precedes engine startup.
+func (e *Engine) startVA(now sim.Time, ctx int, srcVA, dstVA, size uint64) (*Transfer, bool) {
+	if !e.validateVA(ctx, srcVA, dstVA, size) {
+		e.ctr.rejected.Inc()
+		e.last = &Transfer{Src: phys.Addr(srcVA), Dst: phys.Addr(dstVA), Size: size,
+			Failed: true, Start: now, End: now, Virt: true, VCtx: ctx}
+		return e.last, false
+	}
+	var pinLat sim.Time
+	if e.policy == RecoverPin {
+		lat, err := e.resolver.PinRange(ctx, srcVA, size, false)
+		if err != nil {
+			e.ctr.rejected.Inc()
+			e.last = &Transfer{Src: phys.Addr(srcVA), Dst: phys.Addr(dstVA), Size: size,
+				Failed: true, Start: now, End: now, Virt: true, VCtx: ctx}
+			return e.last, false
+		}
+		pinLat = lat
+		if lat, err = e.resolver.PinRange(ctx, dstVA, size, true); err != nil {
+			e.resolver.UnpinRange(ctx, srcVA, size)
+			e.ctr.rejected.Inc()
+			e.last = &Transfer{Src: phys.Addr(srcVA), Dst: phys.Addr(dstVA), Size: size,
+				Failed: true, Start: now, End: now, Virt: true, VCtx: ctx}
+			return e.last, false
+		}
+		pinLat += lat
+		e.vactr.vaPins.Inc()
+	}
+	begin := now + pinLat
+	if e.xfer.busyUntil > begin {
+		begin = e.xfer.busyUntil
+	}
+	begin += e.cfg.StartupTime
+	duration := sim.Time(0)
+	if size > 0 {
+		duration = sim.Time(uint64(sim.Second) / e.cfg.Bandwidth * size)
+		if duration == 0 {
+			duration = sim.Nanosecond
+		}
+	}
+	t := e.newTransfer()
+	t.Src, t.Dst, t.Size, t.Start, t.End = phys.Addr(srcVA), phys.Addr(dstVA), size, begin, begin+duration
+	t.Virt, t.VCtx = true, ctx
+	e.xfer.busyUntil = t.End
+	e.ctr.started.Inc()
+	e.vactr.vaStarted.Inc()
+	e.last = t
+	if e.logging {
+		e.log = append(e.log, t)
+	}
+	if e.reserver != nil && t.End > t.Start {
+		e.reserver.ReserveDMA(t.Start, t.End)
+	}
+	e.scheduleVA(t)
+	return t, true
+}
+
+// startCtxVA is startCtx for virtual transfers: reg is the register
+// context holding the arguments, ctx the translation context.
+func (e *Engine) startCtxVA(now sim.Time, reg, ctx int, srcVA, dstVA, size uint64) (*Transfer, bool) {
+	old := e.ctxs[reg].cur
+	t, ok := e.startVA(now, ctx, srcVA, dstVA, size)
+	if ok {
+		e.ctxs[reg].cur = t
+		if !e.logging && old != nil && old != t && old.delivered {
+			e.freeT = append(e.freeT, old)
+		}
+	}
+	return t, ok
+}
+
+// scheduleVA arranges delivery of a virtual transfer.
+func (e *Engine) scheduleVA(t *Transfer) {
+	if t.Size == 0 {
+		if e.events == nil {
+			e.finish(t)
+			return
+		}
+		if e.ringZeroDefer {
+			return // the pooled ring completion record delivers finish
+		}
+		e.events.ScheduleFunc(t.End, func(sim.Time) { e.finish(t) })
+		return
+	}
+	if e.events == nil {
+		e.runSyncVA(t)
+		return
+	}
+	w := e.getVW()
+	w.t, w.ctx = t, t.VCtx
+	w.srcVA, w.dstVA = uint64(t.Src), uint64(t.Dst)
+	w.span = t.End - t.Start
+	w.end0 = t.End
+	w.maxFaults = int(2*(t.Size/e.cfg.PageSize) + 8)
+	t.vw = w
+	first := uint64(transferChunk)
+	if t.Size < first {
+		first = t.Size
+	}
+	e.events.ScheduleFunc(w.nominal(first), w.fire)
+}
+
+// vaWalker is the delivery state of one in-flight virtual transfer,
+// pooled like localWalker. Bursts are split on device-page boundaries
+// so every piece translates exactly once per side.
+type vaWalker struct {
+	e   *Engine
+	t   *Transfer
+	ctx int // translation context
+
+	srcVA, dstVA uint64
+	off          uint64 // bytes landed so far (advances per PIECE, so a
+	// re-run after a fault never duplicates completed pieces)
+	span      sim.Time // nominal duration (End-Start at acceptance)
+	end0      sim.Time // nominal End at acceptance (bus-reservation base)
+	penalty   sim.Time // accumulated miss+stall lag pushed onto the schedule
+	streamEnd sim.Time // time the last byte streamed
+	lastFix   sim.Time // latest bounce fix-up completion
+
+	parked bool // waiting for ResumeFaulted
+	done   bool // stream complete (fix-ups may still be out)
+	dead   bool // failed with fix-ups still out; last fix-up releases
+
+	faultVA   uint64 // parked-on fault address
+	faultWr   bool   // parked-on fault was a write
+	faults    int    // faults taken (valve against livelock)
+	maxFaults int
+	fixups    int // outstanding bounce fix-up copies
+
+	buf  []byte          // reusable piece buffer (transferChunk bytes)
+	comp *ringCompletion // ring completion to deliver at the REAL end
+	fire func(sim.Time)
+}
+
+func (e *Engine) getVW() *vaWalker {
+	if n := len(e.freeVW); n > 0 {
+		w := e.freeVW[n-1]
+		e.freeVW = e.freeVW[:n-1]
+		return w
+	}
+	w := &vaWalker{e: e, buf: make([]byte, transferChunk)}
+	w.fire = func(at sim.Time) { w.step(at) }
+	return w
+}
+
+func (e *Engine) putVW(w *vaWalker) {
+	buf, fire := w.buf, w.fire
+	*w = vaWalker{}
+	w.e, w.buf, w.fire = e, buf, fire
+	e.freeVW = append(e.freeVW, w)
+}
+
+// releaseVW detaches the walker from its transfer and pools it.
+func (e *Engine) releaseVW(w *vaWalker) {
+	if w.t != nil {
+		w.t.vw = nil
+		w.t = nil
+	}
+	e.putVW(w)
+}
+
+// nominal returns when byte hi of the payload streams on the fault-free
+// schedule.
+func (w *vaWalker) nominal(hi uint64) sim.Time {
+	return w.t.Start + sim.Time(uint64(w.span)*hi/w.t.Size)
+}
+
+// step lands pieces up to the next chunk boundary, translating each
+// piece's source and destination pages. It runs as the walker's single
+// in-flight event; on a fault it returns without rescheduling (the
+// fault path owns what happens next).
+func (w *vaWalker) step(at sim.Time) {
+	if w.done || w.parked || w.t == nil || w.t.Failed {
+		return
+	}
+	e, t := w.e, w.t
+	hi := (w.off/transferChunk)*transferChunk + transferChunk
+	if hi > t.Size {
+		hi = t.Size
+	}
+	var extra sim.Time
+	pageSize := e.cfg.PageSize
+	for w.off < hi {
+		n := hi - w.off
+		sva := w.srcVA + w.off
+		dva := w.dstVA + w.off
+		if rem := pageSize - sva%pageSize; n > rem {
+			n = rem
+		}
+		if rem := pageSize - dva%pageSize; n > rem {
+			n = rem
+		}
+		spa, shit, err := e.iommu.TranslateIO(w.ctx, sva, false)
+		if err != nil {
+			w.fault(at+extra, sva, false)
+			return
+		}
+		if !shit {
+			extra += e.cfg.IOTLBMissTime
+		}
+		dpa, dhit, derr := e.iommu.TranslateIO(w.ctx, dva, true)
+		if derr != nil {
+			bounced := false
+			if e.policy == RecoverBounce {
+				if bpa, ok := e.bounceOut(w, at+extra, dva, n); ok {
+					dpa, bounced = bpa, true
+				}
+			}
+			if !bounced {
+				w.fault(at+extra, dva, true)
+				return
+			}
+		} else if !dhit {
+			extra += e.cfg.IOTLBMissTime
+		}
+		buf := w.buf[:n]
+		if err := e.mem.ReadInto(spa, buf); err != nil {
+			w.fail(at + extra)
+			return
+		}
+		if err := e.mem.WriteBytes(dpa, buf); err != nil {
+			w.fail(at + extra)
+			return
+		}
+		w.off += n
+	}
+	if lag := at + extra - w.nominal(w.off); lag > w.penalty {
+		w.penalty = lag
+	}
+	if w.off >= t.Size {
+		w.done = true
+		w.tryFinish(at + extra)
+		return
+	}
+	next := (w.off/transferChunk)*transferChunk + transferChunk
+	if next > t.Size {
+		next = t.Size
+	}
+	e.events.ScheduleFunc(w.nominal(next)+w.penalty, w.fire)
+}
+
+// fault handles a translation fault at (va, write). Under an inline
+// resolution the walker retries the same piece after the page-in
+// latency; ErrFaultPending parks the transfer for ResumeFaulted.
+func (w *vaWalker) fault(at sim.Time, va uint64, write bool) {
+	e := w.e
+	e.vactr.vaFaults.Inc()
+	w.faults++
+	if w.faults > w.maxFaults || e.resolver == nil {
+		w.fail(at)
+		return
+	}
+	lat, err := e.resolver.ResolveFault(w.ctx, va, write)
+	if err != nil {
+		if errors.Is(err, ErrFaultPending) && e.events != nil {
+			w.parked = true
+			w.faultVA, w.faultWr = va, write
+			e.vactr.vaStalls.Inc()
+			e.vaParked = append(e.vaParked, w)
+			return
+		}
+		w.fail(at)
+		return
+	}
+	e.vactr.vaStalls.Inc()
+	e.events.ScheduleFunc(at+lat, w.fire)
+}
+
+// ResumeFaulted unparks transfers parked on a fault (all of them, or
+// only translation context ctx when ctx >= 0), rescheduling their
+// walkers at time at. The kernel calls this after making the faulted
+// pages resident. Returns how many transfers resumed.
+func (e *Engine) ResumeFaulted(ctx int, at sim.Time) int {
+	if e.events == nil {
+		return 0
+	}
+	n := 0
+	kept := e.vaParked[:0]
+	for _, w := range e.vaParked {
+		if w.parked && (ctx < 0 || w.ctx == ctx) {
+			w.parked = false
+			n++
+			e.events.ScheduleFunc(at, w.fire)
+			continue
+		}
+		kept = append(kept, w)
+	}
+	for i := len(kept); i < len(e.vaParked); i++ {
+		e.vaParked[i] = nil
+	}
+	e.vaParked = kept
+	return n
+}
+
+// removeParked drops w from the parked list (failure path).
+func (e *Engine) removeParked(w *vaWalker) {
+	kept := e.vaParked[:0]
+	for _, p := range e.vaParked {
+		if p != w {
+			kept = append(kept, p)
+		}
+	}
+	for i := len(kept); i < len(e.vaParked); i++ {
+		e.vaParked[i] = nil
+	}
+	e.vaParked = kept
+}
+
+// copyDur returns the engine-bandwidth time to move n bytes.
+func (e *Engine) copyDur(n uint64) sim.Time {
+	d := sim.Time(uint64(sim.Second) / e.cfg.Bandwidth * n)
+	if d == 0 {
+		d = sim.Nanosecond
+	}
+	return d
+}
+
+// bounceOut redirects a faulting destination page into a free bounce
+// frame so the stream keeps moving, and schedules the fix-up copy for
+// when the kernel has the real frame resident. Returns (bouncePA, true)
+// on success; on any obstacle (no bounce region, no free frame, the
+// resolver cannot page in) the caller falls back to the stall path.
+func (e *Engine) bounceOut(w *vaWalker, at sim.Time, va, n uint64) (phys.Addr, bool) {
+	if e.cfg.BouncePages == 0 || e.resolver == nil || e.events == nil {
+		return 0, false
+	}
+	k := len(e.bounceFree)
+	if k == 0 {
+		return 0, false
+	}
+	lat, err := e.resolver.ResolveFault(w.ctx, va, true)
+	if err != nil {
+		return 0, false
+	}
+	frame := e.bounceFree[k-1]
+	e.bounceFree = e.bounceFree[:k-1]
+	pa := e.cfg.BounceBase + phys.Addr(uint64(frame)*e.cfg.PageSize+va%e.cfg.PageSize)
+	w.fixups++
+	e.vactr.vaBounced.Inc()
+	// The fix-up record and its closure are allocated per fault — the
+	// fault path is off the allocation-pinned no-fault hot path.
+	fx := &vaFixup{w: w, frame: frame, bpa: pa, va: va, n: n}
+	fx.fire = func(t sim.Time) { fx.run(t) }
+	e.events.ScheduleFunc(at+lat+e.copyDur(n), fx.fire)
+	return pa, true
+}
+
+// vaFixup is one outstanding bounce fix-up: copy the piece from its
+// bounce frame to the real (now resident) destination page, then free
+// the frame.
+type vaFixup struct {
+	w     *vaWalker
+	frame int32
+	bpa   phys.Addr // bounce source (frame base + page offset)
+	va    uint64    // real destination device VA
+	n     uint64
+	tries int
+	fire  func(sim.Time)
+}
+
+// maxFixupRetries bounds re-resolution of a destination page that was
+// evicted again between the redirect and the fix-up.
+const maxFixupRetries = 8
+
+func (fx *vaFixup) run(at sim.Time) {
+	w := fx.w
+	e := w.e
+	t := w.t
+	if t == nil || t.Failed {
+		e.bounceFree = append(e.bounceFree, fx.frame)
+		w.fixups--
+		if w.dead && w.fixups == 0 {
+			e.releaseVW(w)
+		}
+		return
+	}
+	dpa, _, err := e.iommu.TranslateIO(w.ctx, fx.va, true)
+	if err != nil {
+		// The page was evicted again before the fix-up landed: re-resolve
+		// and retry, up to the valve.
+		fx.tries++
+		if fx.tries <= maxFixupRetries {
+			if lat, rerr := e.resolver.ResolveFault(w.ctx, fx.va, true); rerr == nil {
+				e.events.ScheduleFunc(at+lat, fx.fire)
+				return
+			}
+		}
+		e.bounceFree = append(e.bounceFree, fx.frame)
+		w.fixups--
+		w.fail(at)
+		return
+	}
+	buf := make([]byte, fx.n)
+	if rerr := e.mem.ReadInto(fx.bpa, buf); rerr != nil {
+		panic(rerr) // bounce region was validated against MemSize
+	}
+	if werr := e.mem.WriteBytes(dpa, buf); werr != nil {
+		e.bounceFree = append(e.bounceFree, fx.frame)
+		w.fixups--
+		w.fail(at)
+		return
+	}
+	e.bounceFree = append(e.bounceFree, fx.frame)
+	w.fixups--
+	if at > w.lastFix {
+		w.lastFix = at
+	}
+	if w.done && w.fixups == 0 {
+		w.tryFinish(w.streamEnd)
+	}
+}
+
+// tryFinish records the stream end and finishes the transfer once both
+// the stream and every fix-up have landed.
+func (w *vaWalker) tryFinish(eff sim.Time) {
+	if eff > w.streamEnd {
+		w.streamEnd = eff
+	}
+	if !w.done || w.fixups > 0 {
+		return
+	}
+	end := w.streamEnd
+	if w.lastFix > end {
+		end = w.lastFix
+	}
+	w.finishAt(end)
+}
+
+// finishAt completes the transfer at its REAL end: the End register
+// moves to cover miss penalties, stalls and fix-ups, the channel and
+// bus reservations extend with it, pins release, and a ring completion
+// (if any) fires now rather than at the nominal End.
+func (w *vaWalker) finishAt(end sim.Time) {
+	e, t := w.e, w.t
+	t.End = end
+	if end > e.xfer.busyUntil {
+		e.xfer.busyUntil = end
+	}
+	if e.reserver != nil && end > w.end0 {
+		e.reserver.ReserveDMA(w.end0, end)
+	}
+	if e.policy == RecoverPin && e.resolver != nil {
+		e.resolver.UnpinRange(w.ctx, w.srcVA, t.Size)
+		e.resolver.UnpinRange(w.ctx, w.dstVA, t.Size)
+	}
+	e.finish(t)
+	if c := w.comp; c != nil {
+		w.comp = nil
+		c.run(end)
+	}
+	e.releaseVW(w)
+}
+
+// fail marks the transfer failed and releases everything. With fix-ups
+// still outstanding the walker lingers (dead) until the last one runs.
+func (w *vaWalker) fail(at sim.Time) {
+	e, t := w.e, w.t
+	t.Failed = true
+	w.done = true
+	if w.parked {
+		w.parked = false
+		e.removeParked(w)
+	}
+	if e.policy == RecoverPin && e.resolver != nil {
+		e.resolver.UnpinRange(w.ctx, w.srcVA, t.Size)
+		e.resolver.UnpinRange(w.ctx, w.dstVA, t.Size)
+	}
+	if c := w.comp; c != nil {
+		w.comp = nil
+		c.run(at)
+	}
+	if w.fixups > 0 {
+		w.dead = true
+		return
+	}
+	e.releaseVW(w)
+}
+
+// runSyncVA delivers a virtual transfer eagerly for bare-engine tests
+// (no event queue): faults resolve synchronously (parking needs events;
+// an unresolvable fault fails the transfer), misses and page-in
+// latencies accumulate into the final End, and bounce is moot because
+// every fault resolves before the next piece.
+func (e *Engine) runSyncVA(t *Transfer) {
+	unpin := func() {
+		if e.policy == RecoverPin && e.resolver != nil {
+			e.resolver.UnpinRange(t.VCtx, uint64(t.Src), t.Size)
+			e.resolver.UnpinRange(t.VCtx, uint64(t.Dst), t.Size)
+		}
+	}
+	var extra sim.Time
+	pageSize := e.cfg.PageSize
+	srcVA, dstVA := uint64(t.Src), uint64(t.Dst)
+	bufN := uint64(transferChunk)
+	if t.Size < bufN {
+		bufN = t.Size
+	}
+	buf := e.getBuf(bufN)
+	faults := 0
+	maxFaults := int(2*(t.Size/pageSize) + 8)
+	resolve := func(va uint64, write bool) bool {
+		e.vactr.vaFaults.Inc()
+		faults++
+		if faults > maxFaults || e.resolver == nil {
+			return false
+		}
+		lat, err := e.resolver.ResolveFault(t.VCtx, va, write)
+		if err != nil {
+			return false
+		}
+		e.vactr.vaStalls.Inc()
+		extra += lat
+		return true
+	}
+	off := uint64(0)
+	for off < t.Size {
+		n := t.Size - off
+		if n > transferChunk {
+			n = transferChunk
+		}
+		sva, dva := srcVA+off, dstVA+off
+		if rem := pageSize - sva%pageSize; n > rem {
+			n = rem
+		}
+		if rem := pageSize - dva%pageSize; n > rem {
+			n = rem
+		}
+		spa, shit, err := e.iommu.TranslateIO(t.VCtx, sva, false)
+		if err != nil {
+			if !resolve(sva, false) {
+				e.putBuf(buf)
+				unpin()
+				t.Failed = true
+				return
+			}
+			continue
+		}
+		if !shit {
+			extra += e.cfg.IOTLBMissTime
+		}
+		dpa, dhit, derr := e.iommu.TranslateIO(t.VCtx, dva, true)
+		if derr != nil {
+			if !resolve(dva, true) {
+				e.putBuf(buf)
+				unpin()
+				t.Failed = true
+				return
+			}
+			continue
+		}
+		if !dhit {
+			extra += e.cfg.IOTLBMissTime
+		}
+		p := buf[:n]
+		if rerr := e.mem.ReadInto(spa, p); rerr != nil {
+			e.putBuf(buf)
+			unpin()
+			t.Failed = true
+			return
+		}
+		if werr := e.mem.WriteBytes(dpa, p); werr != nil {
+			e.putBuf(buf)
+			unpin()
+			t.Failed = true
+			return
+		}
+		off += n
+	}
+	e.putBuf(buf)
+	t.End += extra
+	if t.End > e.xfer.busyUntil {
+		e.xfer.busyUntil = t.End
+	}
+	unpin()
+	e.finish(t)
+}
+
+// walkDescriptorVA consumes one descriptor slot of a ring switched to
+// virtual addressing (SetRingVA): Src/Dst are device VAs for the ring's
+// context and validation is the IOMMU's page tables themselves — the
+// mapping IS the registration, so ringAllowed extents are not
+// consulted. The completion record rides the walker and fires at the
+// transfer's REAL end (penalties, stalls and fix-ups included).
+func (e *Engine) walkDescriptorVA(now sim.Time, ctx int, r *ringState, slot phys.Addr, srcVA, dstVA, size uint64) {
+	prev := e.last
+	var t *Transfer
+	var ok bool
+	if size == 0 && e.events != nil {
+		e.ringZeroDefer = true
+		t, ok = e.startVA(now, ctx, srcVA, dstVA, size)
+		e.ringZeroDefer = false
+	} else {
+		t, ok = e.startVA(now, ctx, srcVA, dstVA, size)
+	}
+	if !ok {
+		e.writeCompletion(slot, StatusFailure, now)
+		return
+	}
+	t.ring = true
+	if !e.logging && prev != nil && prev != t && prev.ring && prev.delivered {
+		e.freeT = append(e.freeT, prev)
+	}
+	if e.events == nil {
+		status := uint64(0)
+		if t.Failed {
+			status = StatusFailure
+		}
+		e.writeCompletion(slot, status, t.End)
+		return
+	}
+	r.inFlight++
+	c := e.getRingC()
+	c.t, c.slot, c.ctx, c.gen, c.zero = t, slot, int32(ctx), r.gen, t.Size == 0
+	if t.vw != nil {
+		t.vw.comp = c
+	} else {
+		e.events.ScheduleFunc(t.End, c.fire)
+	}
+}

@@ -74,6 +74,8 @@ type Params struct {
 	ScaleDur   sim.Time // scale: arrival-window length (0 = 2ms)
 	ScaleSeed  uint64   // scale: world seed (0 = 1)
 
+	TLB int // vasweep: IOTLB entries for the hit-rate sweep (0 = 8)
+
 	// Protocol selects the scalemachine initiation protocol: "kernel",
 	// "extshadow", "keybased", "repeated", or ""/"all" for the full
 	// NOW comparison line-up (one cell per protocol).
@@ -114,6 +116,9 @@ type Obs struct {
 	ScaleM []ScaleMachinePoint        // scalemachine cells (hosted machine worlds)
 	Ring   []userdma.RingDepthResult  // ringdepth cells (batched initiation)
 	Churn  []userdma.RingChurnResult  // ringchurn cells (context oversubscription)
+	VACmp  []userdma.VACompareRow     // vasweep cells (shadow vs IOMMU Table 1)
+	IOTLB  []userdma.IOTLBPoint       // vasweep cells (IOTLB hit-rate sweep)
+	Paging []userdma.PagingResult     // paging cells (recovery-policy grid)
 }
 
 // Row is one generic latency-table row produced by the OS and cluster
@@ -251,6 +256,34 @@ func (r *Result) ChurnPoints() []userdma.RingChurnResult {
 	var out []userdma.RingChurnResult
 	for _, c := range r.Cells {
 		out = append(out, c.Obs.Churn...)
+	}
+	return out
+}
+
+// VAComparisons flattens the vasweep Table 1 observations in cell
+// order.
+func (r *Result) VAComparisons() []userdma.VACompareRow {
+	var out []userdma.VACompareRow
+	for _, c := range r.Cells {
+		out = append(out, c.Obs.VACmp...)
+	}
+	return out
+}
+
+// IOTLBPoints flattens the vasweep IOTLB observations in cell order.
+func (r *Result) IOTLBPoints() []userdma.IOTLBPoint {
+	var out []userdma.IOTLBPoint
+	for _, c := range r.Cells {
+		out = append(out, c.Obs.IOTLB...)
+	}
+	return out
+}
+
+// PagingPoints flattens the paging observations in cell order.
+func (r *Result) PagingPoints() []userdma.PagingResult {
+	var out []userdma.PagingResult
+	for _, c := range r.Cells {
+		out = append(out, c.Obs.Paging...)
 	}
 	return out
 }

@@ -419,6 +419,98 @@ type ChurnRow struct {
 	Fingerprint   string
 }
 
+// VARow is one vasweep Table 1 comparison as the tools serialise it:
+// the same method measured through the physical shadow window and
+// through the IOMMU's VA window.
+type VARow struct {
+	Method       string
+	Iterations   int
+	ShadowMeanPs int64
+	VAMeanPs     int64
+	PaperMeanPs  int64 `json:",omitempty"`
+}
+
+// VARows converts a vasweep result's Table 1 comparisons into wire
+// rows.
+func VARows(r *Result) []VARow {
+	var out []VARow
+	for _, row := range r.VAComparisons() {
+		out = append(out, VARow{
+			Method: row.Method, Iterations: row.Iterations,
+			ShadowMeanPs: int64(row.ShadowMean),
+			VAMeanPs:     int64(row.VAMean),
+			PaperMeanPs:  int64(row.PaperMean),
+		})
+	}
+	return out
+}
+
+// IOTLBRow is one working-set point of the vasweep IOTLB sweep.
+// Fingerprint is hex for the same no-float-rounding reason as ScaleRow.
+type IOTLBRow struct {
+	Pages         int
+	TLBEntries    int
+	Transfers     int
+	Hits          uint64
+	Misses        uint64
+	HitRate       float64
+	PerTransferPs int64
+	Fingerprint   string
+}
+
+// IOTLBRows converts a vasweep result's IOTLB points into wire rows.
+func IOTLBRows(r *Result) []IOTLBRow {
+	var out []IOTLBRow
+	for _, pt := range r.IOTLBPoints() {
+		out = append(out, IOTLBRow{
+			Pages: pt.Pages, TLBEntries: pt.TLBEntries, Transfers: pt.Transfers,
+			Hits: pt.Hits, Misses: pt.Misses, HitRate: pt.HitRate,
+			PerTransferPs: int64(pt.PerTransfer),
+			Fingerprint:   fmt.Sprintf("%016x", pt.Fingerprint),
+		})
+	}
+	return out
+}
+
+// PagingRow is one (policy, working set) cell of the paging grid as
+// the tools serialise it.
+type PagingRow struct {
+	Policy      string
+	Pages       int
+	Budget      int
+	Oversub     float64
+	Transfers   int
+	GoodputMBps float64
+	P50Ps       int64
+	P99Ps       int64
+	ElapsedPs   int64
+	Faults      uint64
+	Stalls      uint64
+	Bounced     uint64
+	Pins        uint64
+	Evictions   uint64
+	PageIns     uint64
+	Fingerprint string
+}
+
+// PagingRows converts a paging result into wire rows.
+func PagingRows(r *Result) []PagingRow {
+	var out []PagingRow
+	for _, pt := range r.PagingPoints() {
+		out = append(out, PagingRow{
+			Policy: pt.Policy, Pages: pt.Pages, Budget: pt.Budget,
+			Oversub: pt.Oversub, Transfers: pt.Transfers,
+			GoodputMBps: pt.GoodputMBps,
+			P50Ps:       int64(pt.P50), P99Ps: int64(pt.P99),
+			ElapsedPs: int64(pt.Elapsed),
+			Faults:    pt.Faults, Stalls: pt.Stalls, Bounced: pt.Bounced,
+			Pins: pt.Pins, Evictions: pt.Evictions, PageIns: pt.PageIns,
+			Fingerprint: fmt.Sprintf("%016x", pt.Fingerprint),
+		})
+	}
+	return out
+}
+
 // ChurnRows converts a ringchurn result into wire rows.
 func ChurnRows(r *Result) []ChurnRow {
 	var out []ChurnRow

@@ -1,0 +1,222 @@
+package iommu
+
+import (
+	"errors"
+	"testing"
+
+	"uldma/internal/obs"
+	"uldma/internal/phys"
+	"uldma/internal/vm"
+)
+
+func newTestIOMMU(t *testing.T) *IOMMU {
+	t.Helper()
+	io, err := New(Config{Contexts: 4, PageSize: 8192, TLBEntries: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return io
+}
+
+func TestTranslateHitMissFault(t *testing.T) {
+	io := newTestIOMMU(t)
+	if err := io.Map(1, 0x10000, 0x4000, vm.Read|vm.Write); err != nil {
+		t.Fatal(err)
+	}
+
+	// First translation walks the table (miss), second hits the IOTLB.
+	pa, hit, err := io.Translate(1, 0x10008, vm.AccessLoad)
+	if err != nil || hit {
+		t.Fatalf("first translate: pa=%v hit=%v err=%v, want miss", pa, hit, err)
+	}
+	if pa != 0x4008 {
+		t.Fatalf("pa = %v, want 0x4008", pa)
+	}
+	if pa, hit, err = io.Translate(1, 0x10010, vm.AccessStore); err != nil || !hit {
+		t.Fatalf("second translate: hit=%v err=%v, want hit", hit, err)
+	}
+	if pa != 0x4010 {
+		t.Fatalf("pa = %v, want 0x4010", pa)
+	}
+	if io.Hits() != 1 || io.Misses() != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", io.Hits(), io.Misses())
+	}
+
+	// Same VA in a different context is unmapped: ASID tagging.
+	if _, _, err := io.Translate(2, 0x10000, vm.AccessLoad); err == nil {
+		t.Fatal("translate in unmapped context succeeded")
+	}
+	var f *vm.Fault
+	_, _, err = io.Translate(1, 0x99999000, vm.AccessLoad)
+	if !errors.As(err, &f) || f.Kind != vm.FaultUnmapped {
+		t.Fatalf("unmapped VA: err=%v, want *vm.Fault{FaultUnmapped}", err)
+	}
+	if io.Faults() != 2 {
+		t.Fatalf("faults = %d, want 2", io.Faults())
+	}
+}
+
+func TestUnmapInvalidates(t *testing.T) {
+	io := newTestIOMMU(t)
+	if err := io.Map(0, 0x2000, 0x6000, vm.Read); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := io.Translate(0, 0x2000, vm.AccessLoad); err != nil {
+		t.Fatal(err)
+	}
+	if _, hit, _ := io.Translate(0, 0x2000, vm.AccessLoad); !hit {
+		t.Fatal("expected an IOTLB hit before the unmap")
+	}
+	if err := io.Unmap(0, 0x2000); err != nil {
+		t.Fatal(err)
+	}
+	if io.Flushes() != 1 {
+		t.Fatalf("flushes = %d, want 1", io.Flushes())
+	}
+	// The generation bump must make the cached entry stale.
+	if _, _, err := io.Translate(0, 0x2000, vm.AccessLoad); err == nil {
+		t.Fatal("translate after unmap succeeded (stale IOTLB entry)")
+	}
+}
+
+func TestProtectionFault(t *testing.T) {
+	io := newTestIOMMU(t)
+	if err := io.Map(0, 0x0, 0x2000, vm.Read); err != nil {
+		t.Fatal(err)
+	}
+	var f *vm.Fault
+	_, _, err := io.Translate(0, 0x8, vm.AccessStore)
+	if !errors.As(err, &f) || f.Kind != vm.FaultProtection {
+		t.Fatalf("store through read-only mapping: err=%v, want protection fault", err)
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	io := newTestIOMMU(t)
+	if err := io.Map(0, 0x2000, 0x6000, vm.Read|vm.Write); err != nil {
+		t.Fatal(err)
+	}
+	if err := io.Map(3, 0x4000, 0x8000, vm.Read); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := io.Translate(0, 0x2000, vm.AccessLoad); err != nil {
+		t.Fatal(err)
+	}
+	snap := io.Snapshot()
+	h0 := io.StateHash()
+
+	// Diverge: new mapping, an unmap, more IOTLB traffic.
+	if err := io.Map(1, 0x6000, 0xa000, vm.Read); err != nil {
+		t.Fatal(err)
+	}
+	if err := io.Unmap(3, 0x4000); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := io.Translate(1, 0x6000, vm.AccessLoad); err != nil {
+		t.Fatal(err)
+	}
+	if io.StateHash() == h0 {
+		t.Fatal("StateHash did not change with the state")
+	}
+
+	if err := io.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := io.StateHash(); got != h0 {
+		t.Fatalf("restored StateHash = %#x, want %#x", got, h0)
+	}
+	if _, ok := io.Lookup(1, 0x6000); ok {
+		t.Fatal("post-snapshot mapping survived the restore")
+	}
+	if _, ok := io.Lookup(3, 0x4000); !ok {
+		t.Fatal("pre-snapshot mapping did not come back")
+	}
+
+	other, err := New(Config{Contexts: 2, PageSize: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.Restore(snap); err == nil {
+		t.Fatal("restore into a different-shape IOMMU succeeded")
+	}
+}
+
+func TestRegisterMetrics(t *testing.T) {
+	io := newTestIOMMU(t)
+	r := obs.NewRegistry()
+	io.RegisterMetrics(r)
+	if err := io.Map(0, 0x2000, 0x6000, vm.Read); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := io.Translate(0, 0x2000, vm.AccessLoad); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := r.Get("iommu.iotlb_misses"); !ok || v != 1 {
+		t.Fatalf("iommu.iotlb_misses = %d, %v; want 1", v, ok)
+	}
+	if v, ok := r.Get("iommu.maps"); !ok || v != 1 {
+		t.Fatalf("iommu.maps = %d, %v; want 1", v, ok)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Contexts: 0, PageSize: 8192}); err == nil {
+		t.Fatal("0 contexts accepted")
+	}
+	if _, err := New(Config{Contexts: 1, PageSize: 3000}); err == nil {
+		t.Fatal("non-power-of-two page size accepted")
+	}
+	if err := mustNew(t).Map(9, 0, 0, vm.Read); err == nil {
+		t.Fatal("out-of-range context accepted")
+	}
+}
+
+func mustNew(t *testing.T) *IOMMU {
+	t.Helper()
+	io, err := New(Config{Contexts: 2, PageSize: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return io
+}
+
+var sinkPA phys.Addr
+
+// TestIOTLBHitZeroAllocs pins the ISSUE's hot-path contract: a
+// translation served from the IOTLB allocates nothing.
+func TestIOTLBHitZeroAllocs(t *testing.T) {
+	io := newTestIOMMU(t)
+	if err := io.Map(0, 0x2000, 0x6000, vm.Read|vm.Write); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := io.Translate(0, 0x2000, vm.AccessLoad); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		pa, hit, err := io.Translate(0, 0x2008, vm.AccessLoad)
+		if err != nil || !hit {
+			t.Fatalf("hit=%v err=%v", hit, err)
+		}
+		sinkPA = pa
+	})
+	if allocs != 0 {
+		t.Fatalf("IOTLB hit path allocates %v per op, want 0", allocs)
+	}
+}
+
+func BenchmarkIOTLBHit(b *testing.B) {
+	io, err := New(Config{Contexts: 4, PageSize: 8192})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := io.Map(0, 0x2000, 0x6000, vm.Read|vm.Write); err != nil {
+		b.Fatal(err)
+	}
+	io.Translate(0, 0x2000, vm.AccessLoad)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pa, _, _ := io.Translate(0, 0x2008, vm.AccessLoad)
+		sinkPA = pa
+	}
+}

@@ -21,6 +21,7 @@ import (
 
 	"uldma/internal/cpu"
 	"uldma/internal/dma"
+	"uldma/internal/iommu"
 	"uldma/internal/obs"
 	"uldma/internal/phys"
 	"uldma/internal/proc"
@@ -55,6 +56,18 @@ const (
 	// receive interrupt). Args: vaddr. The caller re-checks its mailbox
 	// on return — spurious wakeups are allowed, lost wakeups are not.
 	SysWaitWrite
+	// SysIOMap installs a device translation for the caller's DMA
+	// context: the user page at vaddr becomes device-addressable at
+	// devva (see paging.go). Args: devva, vaddr.
+	SysIOMap
+	// SysIOUnmap removes a device translation. Args: devva.
+	SysIOUnmap
+	// SysIOPin pre-faults and pins [devva, devva+size) so the pager
+	// cannot evict it mid-transfer. Args: devva, size. The caller sleeps
+	// through any page-in latency.
+	SysIOPin
+	// SysIOUnpin releases a SysIOPin. Args: devva, size.
+	SysIOUnpin
 )
 
 // InterruptWakeupCycles models completion-interrupt delivery plus the
@@ -151,6 +164,11 @@ type Kernel struct {
 	watches     []writeWatch
 	ctr         counters
 
+	// Virtual-address DMA (paging.go): the machine's IOMMU, if one is
+	// configured, and the kernel's device-page residency model.
+	iommu *iommu.IOMMU
+	pager pagerState
+
 	tr   *obs.Trace
 	node int32
 }
@@ -231,6 +249,14 @@ func syscallName(num int) string {
 		return "sys_dma_wait"
 	case SysWaitWrite:
 		return "sys_wait_write"
+	case SysIOMap:
+		return "sys_io_map"
+	case SysIOUnmap:
+		return "sys_io_unmap"
+	case SysIOPin:
+		return "sys_io_pin"
+	case SysIOUnpin:
+		return "sys_io_unpin"
 	}
 	return "sys_unknown"
 }
@@ -528,6 +554,26 @@ func (k *Kernel) dispatch(p *proc.Process, num int, args []uint64) (uint64, erro
 			return 0, fmt.Errorf("kernel: SysWaitWrite wants (vaddr)")
 		}
 		return k.sysWaitWrite(p, vm.VAddr(args[0]))
+	case SysIOMap:
+		if len(args) != 2 {
+			return dma.StatusFailure, fmt.Errorf("kernel: SysIOMap wants (devva, vaddr)")
+		}
+		return k.sysIOMap(p, args[0], vm.VAddr(args[1]))
+	case SysIOUnmap:
+		if len(args) != 1 {
+			return dma.StatusFailure, fmt.Errorf("kernel: SysIOUnmap wants (devva)")
+		}
+		return k.sysIOUnmap(p, args[0])
+	case SysIOPin:
+		if len(args) != 2 {
+			return dma.StatusFailure, fmt.Errorf("kernel: SysIOPin wants (devva, size)")
+		}
+		return k.sysIOPin(p, args[0], args[1])
+	case SysIOUnpin:
+		if len(args) != 2 {
+			return dma.StatusFailure, fmt.Errorf("kernel: SysIOUnpin wants (devva, size)")
+		}
+		return k.sysIOUnpin(p, args[0], args[1])
 	default:
 		return 0, fmt.Errorf("kernel: unknown syscall %d", num)
 	}

@@ -1,0 +1,485 @@
+package kernel
+
+// Virtual-address DMA support: the kernel side of internal/iommu. The
+// kernel owns the device page tables — user code never maps a device
+// translation directly; it asks via the SysIOMap/SysIOUnmap/SysIOPin
+// syscalls (kernel.go) or the warmed-template helpers below — and it
+// implements dma.FaultResolver, the service the engine calls when a
+// transfer faults mid-flight.
+//
+// Two regimes:
+//
+//   - Pager disabled (default): every MapIO is permanently resident.
+//     ResolveFault on a mapped page returns instantly (the fault was an
+//     IOTLB-level race, already healed); on an unmapped page it returns
+//     dma.ErrFaultPending, parking the transfer until someone maps the
+//     page and calls Engine.ResumeFaulted — the manual demand-paging
+//     path the snapshot-fidelity tests drive.
+//
+//   - Pager enabled (EnablePager): at most `budget` device pages are
+//     resident at once. MapIO registers a page; making it resident may
+//     evict the least-recently-used unpinned resident page
+//     (iommu.Unmap — which also invalidates its IOTLB entries).
+//     ResolveFault pages the victim's frame back in after a fixed
+//     page-in latency. Pins (SysIOPin / the engine's pin policy) make
+//     pages ineligible for eviction. Eviction order is deterministic:
+//     strictly (lastUse, seq)-minimal among unpinned residents.
+//
+// All pager state is pure data keyed by (ctx, deviceVA) — no pointers
+// into process address spaces — so it snapshots by value and folds into
+// machine.Fingerprint through PagerStateHash.
+
+import (
+	"fmt"
+
+	"uldma/internal/dma"
+	"uldma/internal/iommu"
+	"uldma/internal/obs"
+	"uldma/internal/phys"
+	"uldma/internal/proc"
+	"uldma/internal/sim"
+	"uldma/internal/vm"
+)
+
+// pagerKey names one device page: translation context + page-aligned
+// device virtual address.
+type pagerKey struct {
+	ctx int
+	va  uint64
+}
+
+// pagerPage is the pager's record of one registered device page.
+type pagerPage struct {
+	frame    phys.Addr
+	prot     vm.Prot
+	resident bool
+	pinned   int    // pin count; >0 blocks eviction
+	lastUse  uint64 // pager tick of last touch (resident pages only)
+	seq      uint64 // registration order, the lastUse tiebreak
+}
+
+// pagerState is the kernel's paging/eviction model. Not a *Stats
+// struct: the counters are obs cells registered via
+// RegisterPagerMetrics.
+type pagerState struct {
+	enabled  bool
+	budget   int      // max resident device pages (0 with enabled = unlimited)
+	pageIn   sim.Time // latency charged per page-in
+	pages    map[pagerKey]*pagerPage
+	resident int
+	tick     uint64 // LRU clock
+	seq      uint64 // registration counter
+
+	evictions obs.Counter
+	pageIns   obs.Counter
+	pins      obs.Counter
+}
+
+// SetIOMMU attaches the machine's IOMMU. The machine layer calls it
+// during assembly, before any MapIO.
+func (k *Kernel) SetIOMMU(io *iommu.IOMMU) {
+	k.iommu = io
+	if k.pager.pages == nil {
+		k.pager.pages = make(map[pagerKey]*pagerPage)
+	}
+}
+
+// IOMMU returns the attached IOMMU, or nil.
+func (k *Kernel) IOMMU() *iommu.IOMMU { return k.iommu }
+
+// EnablePager turns on the paging/eviction model: at most budget device
+// pages resident, page-ins charged pageInTime. Must be called before
+// traffic; enabling it re-registers already-mapped pages as resident.
+func (k *Kernel) EnablePager(budget int, pageInTime sim.Time) error {
+	if k.iommu == nil {
+		return fmt.Errorf("kernel: EnablePager: no IOMMU attached")
+	}
+	if budget < 1 {
+		return fmt.Errorf("kernel: EnablePager: budget %d", budget)
+	}
+	k.pager.enabled = true
+	k.pager.budget = budget
+	k.pager.pageIn = pageInTime
+	return nil
+}
+
+// PagerEnabled reports whether the eviction model is on.
+func (k *Kernel) PagerEnabled() bool { return k.pager.enabled }
+
+// ResidentPages returns the pager's resident count (0 when disabled).
+func (k *Kernel) ResidentPages() int { return k.pager.resident }
+
+// RegisterPagerMetrics registers the pager's cells. The machine calls
+// this only on IOMMU-equipped worlds, keeping other registry dumps
+// byte-identical.
+func (k *Kernel) RegisterPagerMetrics(r *obs.Registry) {
+	r.RegisterCounter("kernel.pager_evictions", &k.pager.evictions)
+	r.RegisterCounter("kernel.pager_page_ins", &k.pager.pageIns)
+	r.RegisterCounter("kernel.pager_pins", &k.pager.pins)
+}
+
+// MapIO installs a device translation: ctx's device VA va -> frame with
+// prot. With the pager disabled the mapping is immediately and
+// permanently resident. With it enabled the page is registered and made
+// resident, evicting an LRU victim if the budget is full.
+func (k *Kernel) MapIO(ctx int, va uint64, frame phys.Addr, prot vm.Prot) error {
+	if k.iommu == nil {
+		return fmt.Errorf("kernel: MapIO: no IOMMU attached")
+	}
+	base := va &^ (k.PageSize() - 1)
+	if !k.pager.enabled {
+		return k.iommu.Map(ctx, base, frame, prot)
+	}
+	key := pagerKey{ctx: ctx, va: base}
+	pg := k.pager.pages[key]
+	if pg == nil {
+		k.pager.seq++
+		pg = &pagerPage{seq: k.pager.seq}
+		k.pager.pages[key] = pg
+	}
+	pg.frame, pg.prot = frame, prot
+	if pg.resident {
+		// Re-map in place (frame or protection change).
+		return k.iommu.Map(ctx, base, frame, prot)
+	}
+	return k.makeResident(key, pg)
+}
+
+// UnmapIO removes a device translation (and, pager enabled, forgets the
+// page entirely). Unmapping a pinned page is refused.
+func (k *Kernel) UnmapIO(ctx int, va uint64) error {
+	if k.iommu == nil {
+		return fmt.Errorf("kernel: UnmapIO: no IOMMU attached")
+	}
+	base := va &^ (k.PageSize() - 1)
+	if k.pager.enabled {
+		key := pagerKey{ctx: ctx, va: base}
+		if pg := k.pager.pages[key]; pg != nil {
+			if pg.pinned > 0 {
+				return fmt.Errorf("kernel: UnmapIO: device page ctx=%d va=%#x is pinned", ctx, base)
+			}
+			if pg.resident {
+				k.pager.resident--
+			}
+			delete(k.pager.pages, key)
+		}
+	}
+	return k.iommu.Unmap(ctx, base)
+}
+
+// MapIOAS is the virtual-address analogue of MapShadowAS: it wires the
+// already-mapped user page at va for IOMMU-translated initiation. The
+// device VA is the user VA itself (masked to MemBits) — the identity
+// convention lets unchanged protocol instruction sequences initiate
+// through the VA window — and the user-visible shadow alias ShadowVA(va)
+// points at the engine's VA window instead of the physical shadow
+// window, so a protocol store to shadow(v) carries a device VIRTUAL
+// address the engine translates at walk time.
+func (k *Kernel) MapIOAS(as *vm.AddressSpace, ctx int, va vm.VAddr) error {
+	if k.iommu == nil {
+		return fmt.Errorf("kernel: MapIOAS: no IOMMU attached")
+	}
+	base := as.PageBase(va)
+	pte, ok := as.Lookup(base)
+	if !ok {
+		return fmt.Errorf("kernel: MapIOAS: %v not mapped", va)
+	}
+	cfg := k.engine.Config()
+	devVA := uint64(base) & (uint64(1)<<cfg.MemBits - 1)
+	prot := pte.Prot
+	if cfg.RemoteBase != 0 && pte.Frame >= cfg.RemoteBase {
+		// Same rule as MapShadowAS: remote destinations must also accept
+		// the protocol's status loads.
+		prot = vm.Read | vm.Write
+	}
+	if err := k.MapIO(ctx, devVA, pte.Frame, prot); err != nil {
+		return err
+	}
+	return as.Map(ShadowVA(base), cfg.VAShadow(devVA, ctx), prot)
+}
+
+// makeResident brings a registered page in, evicting if the budget is
+// full. The caller has already updated pg.frame/prot.
+func (k *Kernel) makeResident(key pagerKey, pg *pagerPage) error {
+	if k.pager.resident >= k.pager.budget {
+		if err := k.evictOne(); err != nil {
+			return err
+		}
+	}
+	if err := k.iommu.Map(key.ctx, key.va, pg.frame, pg.prot); err != nil {
+		return err
+	}
+	pg.resident = true
+	k.pager.resident++
+	k.touch(pg)
+	return nil
+}
+
+// evictOne removes the (lastUse, seq)-minimal unpinned resident page.
+func (k *Kernel) evictOne() error {
+	var vk pagerKey
+	var victim *pagerPage
+	for key, pg := range k.pager.pages {
+		if !pg.resident || pg.pinned > 0 {
+			continue
+		}
+		if victim == nil || pg.lastUse < victim.lastUse ||
+			(pg.lastUse == victim.lastUse && pg.seq < victim.seq) {
+			vk, victim = key, pg
+		}
+	}
+	if victim == nil {
+		return fmt.Errorf("kernel: pager: all %d resident device pages pinned", k.pager.resident)
+	}
+	if err := k.iommu.Unmap(vk.ctx, vk.va); err != nil {
+		return err
+	}
+	victim.resident = false
+	k.pager.resident--
+	k.pager.evictions.Inc()
+	return nil
+}
+
+func (k *Kernel) touch(pg *pagerPage) {
+	k.pager.tick++
+	pg.lastUse = k.pager.tick
+}
+
+// ResolveFault implements dma.FaultResolver: make (ctx, va) resident.
+// Pager disabled: a mapped page resolves instantly (the translation
+// exists; the fault was transient), an unmapped one returns
+// dma.ErrFaultPending so the engine parks the transfer for
+// ResumeFaulted. Pager enabled: page the registered frame back in after
+// the page-in latency, evicting if necessary.
+func (k *Kernel) ResolveFault(ctx int, va uint64, write bool) (sim.Time, error) {
+	if k.iommu == nil {
+		return 0, fmt.Errorf("kernel: ResolveFault: no IOMMU attached")
+	}
+	base := va &^ (k.PageSize() - 1)
+	if !k.pager.enabled {
+		if _, ok := k.iommu.Lookup(ctx, base); ok {
+			return 0, nil
+		}
+		return 0, dma.ErrFaultPending
+	}
+	key := pagerKey{ctx: ctx, va: base}
+	pg := k.pager.pages[key]
+	if pg == nil {
+		k.ctr.faults.Inc()
+		return 0, fmt.Errorf("kernel: device page ctx=%d va=%#x never mapped", ctx, base)
+	}
+	if write && !pg.prot.Can(vm.Write) {
+		k.ctr.faults.Inc()
+		return 0, fmt.Errorf("kernel: device page ctx=%d va=%#x not writable", ctx, base)
+	}
+	if pg.resident {
+		k.touch(pg)
+		return 0, nil
+	}
+	if err := k.makeResident(key, pg); err != nil {
+		k.ctr.faults.Inc()
+		return 0, err
+	}
+	k.pager.pageIns.Inc()
+	return k.pager.pageIn, nil
+}
+
+// PinRange implements dma.FaultResolver: pre-fault and pin every page
+// of [va, va+size). Pinned pages cannot be evicted. The latency is the
+// sum of page-ins incurred. On failure nothing stays pinned.
+func (k *Kernel) PinRange(ctx int, va, size uint64, write bool) (sim.Time, error) {
+	if k.iommu == nil {
+		return 0, fmt.Errorf("kernel: PinRange: no IOMMU attached")
+	}
+	ps := k.PageSize()
+	first := va &^ (ps - 1)
+	var total sim.Time
+	for base := first; base < va+size; base += ps {
+		lat, err := k.pinOne(ctx, base, write)
+		if err != nil {
+			for b := first; b < base; b += ps {
+				k.unpinOne(ctx, b)
+			}
+			return 0, err
+		}
+		total += lat
+	}
+	return total, nil
+}
+
+func (k *Kernel) pinOne(ctx int, base uint64, write bool) (sim.Time, error) {
+	if !k.pager.enabled {
+		pte, ok := k.iommu.Lookup(ctx, base)
+		if !ok {
+			return 0, fmt.Errorf("kernel: PinRange: device page ctx=%d va=%#x not mapped", ctx, base)
+		}
+		if write && !pte.Prot.Can(vm.Write) {
+			return 0, fmt.Errorf("kernel: PinRange: device page ctx=%d va=%#x not writable", ctx, base)
+		}
+		k.pager.pins.Inc()
+		return 0, nil
+	}
+	lat, err := k.ResolveFault(ctx, base, write)
+	if err != nil {
+		return 0, err
+	}
+	k.pager.pages[pagerKey{ctx: ctx, va: base}].pinned++
+	k.pager.pins.Inc()
+	return lat, nil
+}
+
+// UnpinRange implements dma.FaultResolver: release the pins PinRange
+// took on [va, va+size).
+func (k *Kernel) UnpinRange(ctx int, va, size uint64) {
+	if k.iommu == nil {
+		return
+	}
+	ps := k.PageSize()
+	for base := va &^ (ps - 1); base < va+size; base += ps {
+		k.unpinOne(ctx, base)
+	}
+}
+
+func (k *Kernel) unpinOne(ctx int, base uint64) {
+	if !k.pager.enabled {
+		return
+	}
+	if pg := k.pager.pages[pagerKey{ctx: ctx, va: base}]; pg != nil && pg.pinned > 0 {
+		pg.pinned--
+	}
+}
+
+// --- syscall bodies (dispatched from kernel.go) ---
+
+// sysIOMap: the caller asks the kernel to make its user page at va
+// device-addressable at devva, under its own DMA context. The kernel
+// translates va through the process table (one software
+// virtual_to_physical, same cost as Figure 1's) and installs the
+// device PTE — the once-per-page setup cost of virtual-address DMA,
+// analogous to MapShadow for the physical schemes.
+func (k *Kernel) sysIOMap(p *proc.Process, devva uint64, va vm.VAddr) (uint64, error) {
+	if k.iommu == nil {
+		return dma.StatusFailure, fmt.Errorf("kernel: SysIOMap: machine has no IOMMU")
+	}
+	ctx := 0
+	if c, ok := k.procCtx[p.PID()]; ok {
+		ctx = c
+	}
+	k.cpu.Spin(k.cfg.TranslateCycles)
+	as := p.AddressSpace()
+	base := as.PageBase(va)
+	pte, ok := as.Lookup(base)
+	if !ok {
+		k.ctr.faults.Inc()
+		return dma.StatusFailure, &vm.Fault{VA: va, Access: vm.AccessLoad, Kind: vm.FaultUnmapped, ASID: as.ASID()}
+	}
+	if err := k.MapIO(ctx, devva, pte.Frame, pte.Prot); err != nil {
+		return dma.StatusFailure, err
+	}
+	return 0, nil
+}
+
+// sysIOUnmap removes the caller's device translation at devva.
+func (k *Kernel) sysIOUnmap(p *proc.Process, devva uint64) (uint64, error) {
+	if k.iommu == nil {
+		return dma.StatusFailure, fmt.Errorf("kernel: SysIOUnmap: machine has no IOMMU")
+	}
+	ctx := 0
+	if c, ok := k.procCtx[p.PID()]; ok {
+		ctx = c
+	}
+	if err := k.UnmapIO(ctx, devva); err != nil {
+		return dma.StatusFailure, err
+	}
+	return 0, nil
+}
+
+// sysIOPin pins [devva, devva+size) for the caller's context. Page-in
+// latency puts the caller to sleep (the kernel-assisted-pin policy's
+// up-front cost) rather than spinning the CPU.
+func (k *Kernel) sysIOPin(p *proc.Process, devva, size uint64) (uint64, error) {
+	if k.iommu == nil {
+		return dma.StatusFailure, fmt.Errorf("kernel: SysIOPin: machine has no IOMMU")
+	}
+	ctx := 0
+	if c, ok := k.procCtx[p.PID()]; ok {
+		ctx = c
+	}
+	// write=false: a pin guarantees residency; direction-specific
+	// protection is still enforced at translate time.
+	lat, err := k.PinRange(ctx, devva, size, false)
+	if err != nil {
+		return dma.StatusFailure, err
+	}
+	if lat > 0 {
+		p.BlockUntil(k.cpu.Clock().Now() + lat)
+	}
+	return 0, nil
+}
+
+// sysIOUnpin releases a SysIOPin.
+func (k *Kernel) sysIOUnpin(p *proc.Process, devva, size uint64) (uint64, error) {
+	if k.iommu == nil {
+		return dma.StatusFailure, fmt.Errorf("kernel: SysIOUnpin: machine has no IOMMU")
+	}
+	ctx := 0
+	if c, ok := k.procCtx[p.PID()]; ok {
+		ctx = c
+	}
+	k.UnpinRange(ctx, devva, size)
+	return 0, nil
+}
+
+// PagerStateHash folds the pager's complete state into one word.
+// It returns 0 iff no IOMMU is attached AND the pager map is empty —
+// i.e. exactly the pre-existing worlds — so machine.Fingerprint can mix
+// it conditionally without perturbing any existing fingerprint. The
+// per-page fold is commutative (map iteration order must not matter).
+func (k *Kernel) PagerStateHash() uint64 {
+	if k.iommu == nil && len(k.pager.pages) == 0 {
+		return 0
+	}
+	h := uint64(0x6b65726e70616765) // "kernpage"
+	mix := func(v uint64) {
+		h ^= v
+		h *= 0x100000001b3
+		h ^= h >> 29
+	}
+	if k.pager.enabled {
+		mix(1)
+	} else {
+		mix(0)
+	}
+	mix(uint64(k.pager.budget))
+	mix(uint64(k.pager.pageIn))
+	mix(uint64(k.pager.resident))
+	mix(k.pager.tick)
+	mix(k.pager.seq)
+	mix(k.pager.evictions.Value())
+	mix(k.pager.pageIns.Value())
+	mix(k.pager.pins.Value())
+	var pagesFold uint64
+	for key, pg := range k.pager.pages {
+		ph := uint64(0x9e3779b97f4a7c15)
+		pmix := func(v uint64) {
+			ph ^= v
+			ph *= 0x100000001b3
+			ph ^= ph >> 29
+		}
+		pmix(uint64(key.ctx))
+		pmix(key.va)
+		pmix(uint64(pg.frame))
+		pmix(uint64(pg.prot))
+		var flags uint64
+		if pg.resident {
+			flags = 1
+		}
+		pmix(flags)
+		pmix(uint64(pg.pinned))
+		pmix(pg.lastUse)
+		pmix(pg.seq)
+		pagesFold += ph // commutative across map order
+	}
+	mix(pagesFold)
+	return h
+}

@@ -10,8 +10,10 @@ package kernel
 import (
 	"fmt"
 
+	"uldma/internal/obs"
 	"uldma/internal/phys"
 	"uldma/internal/proc"
+	"uldma/internal/sim"
 )
 
 // Snapshot captures a Kernel's mutable state. See Kernel.Snapshot.
@@ -28,6 +30,19 @@ type Snapshot struct {
 	flash     bool
 	palDMA    bool
 	ctr       counters
+
+	// Pager state (paging.go). Pages are deep-copied: live records
+	// mutate after the snapshot.
+	pagerOn       bool
+	pagerBudget   int
+	pagerPageIn   sim.Time
+	pagerResident int
+	pagerTick     uint64
+	pagerSeq      uint64
+	pagerPages    map[pagerKey]pagerPage
+	pagerEvict    uint64
+	pagerIns      uint64
+	pagerPins     uint64
 }
 
 // SHRIMP2Hook reports whether the SHRIMP-2 context-switch hook was
@@ -70,6 +85,21 @@ func (k *Kernel) Snapshot() (*Snapshot, error) {
 	for pid, ctx := range k.procCtx {
 		s.procCtx[pid] = ctx
 	}
+	s.pagerOn = k.pager.enabled
+	s.pagerBudget = k.pager.budget
+	s.pagerPageIn = k.pager.pageIn
+	s.pagerResident = k.pager.resident
+	s.pagerTick = k.pager.tick
+	s.pagerSeq = k.pager.seq
+	s.pagerEvict = k.pager.evictions.Value()
+	s.pagerIns = k.pager.pageIns.Value()
+	s.pagerPins = k.pager.pins.Value()
+	if len(k.pager.pages) > 0 {
+		s.pagerPages = make(map[pagerKey]pagerPage, len(k.pager.pages))
+		for key, pg := range k.pager.pages {
+			s.pagerPages[key] = *pg
+		}
+	}
 	return s, nil
 }
 
@@ -102,5 +132,24 @@ func (k *Kernel) Restore(s *Snapshot) error {
 	k.watches = k.watches[:0]
 	k.ctxWaiters = k.ctxWaiters[:0]
 	k.ctr = s.ctr
+	k.pager.enabled = s.pagerOn
+	k.pager.budget = s.pagerBudget
+	k.pager.pageIn = s.pagerPageIn
+	k.pager.resident = s.pagerResident
+	k.pager.tick = s.pagerTick
+	k.pager.seq = s.pagerSeq
+	k.pager.evictions = obs.Counter(s.pagerEvict)
+	k.pager.pageIns = obs.Counter(s.pagerIns)
+	k.pager.pins = obs.Counter(s.pagerPins)
+	for key := range k.pager.pages {
+		delete(k.pager.pages, key)
+	}
+	for key, pg := range s.pagerPages {
+		cp := pg
+		if k.pager.pages == nil {
+			k.pager.pages = make(map[pagerKey]*pagerPage, len(s.pagerPages))
+		}
+		k.pager.pages[key] = &cp
+	}
 	return nil
 }

@@ -134,7 +134,17 @@ func (m *Machine) Fingerprint() Fingerprint {
 	put(uint64(busy))
 	put(uint64(lastBounds))
 	put(uint64(ctxBounds))
-	put(m.Engine.StateHash())
+	// The engine hash word also carries the IOMMU/VA state (folded
+	// inside Engine.StateHash, gated on an IOMMU being attached) and the
+	// kernel pager's state (folded here, gated on its hash being
+	// nonzero — which it only is on IOMMU-equipped machines). Machines
+	// without an IOMMU put exactly Engine.StateHash, so pre-existing
+	// fingerprints are bit-identical and FingerprintLen is unchanged.
+	eh := m.Engine.StateHash()
+	if ph := m.Kernel.PagerStateHash(); ph != 0 {
+		eh = eh*0x100000001b3 ^ ph
+	}
+	put(eh)
 
 	// The event queue is deliberately not fingerprinted. Its population
 	// is the not-yet-fired completion bookkeeping discussed above: the

@@ -16,6 +16,7 @@ import (
 	"uldma/internal/bus"
 	"uldma/internal/cpu"
 	"uldma/internal/dma"
+	"uldma/internal/iommu"
 	"uldma/internal/kernel"
 	"uldma/internal/obs"
 	"uldma/internal/phys"
@@ -46,6 +47,10 @@ const (
 	ShadowBase = phys.Addr(0x1_0000_0000)
 	// AtomicBase is the engine's atomic-operation window.
 	AtomicBase = phys.Addr(0x2_0000_0000)
+	// VABase is the engine's virtual-address window (IOMMU-translated
+	// initiation; see internal/iommu and dma/va.go). Zero on machines
+	// built without EnableVirtualDMA.
+	VABase = phys.Addr(0x4_0000_0000)
 )
 
 // MaxNodes is how many cluster nodes the remote window can address.
@@ -67,6 +72,32 @@ type Config struct {
 	Engine dma.Config
 	Kernel kernel.Config
 	Runner proc.RunnerConfig
+
+	// IOTLBEntries sizes the IOMMU's translation cache when the machine
+	// has a VA window (Engine.VABase != 0); 0 means
+	// iommu.DefaultTLBEntries.
+	IOTLBEntries int
+}
+
+// EnableVirtualDMA returns cfg with the IOMMU and the engine's
+// virtual-address window configured: device-side VAs translate through
+// per-context device page tables at walk time, IOTLB misses cost
+// Engine.IOTLBMissTime, and a small bounce-buffer region is carved from
+// the top of physical memory for the bounce recovery policy. The
+// address map, protocol windows and cost model are untouched, so shadow
+// (physical) initiation on the same machine behaves exactly as without
+// the IOMMU.
+func EnableVirtualDMA(cfg Config) Config {
+	cfg.Engine.VABase = VABase
+	if cfg.Engine.IOTLBMissTime == 0 {
+		cfg.Engine.IOTLBMissTime = 2 * sim.Microsecond
+	}
+	if cfg.Engine.BouncePages == 0 {
+		const bouncePages = 4
+		cfg.Engine.BouncePages = bouncePages
+		cfg.Engine.BounceBase = phys.Addr(uint64(cfg.MemSize) - bouncePages*cfg.PageSize)
+	}
+	return cfg
 }
 
 // Alpha3000TC returns the calibrated paper-testbed preset with the DMA
@@ -184,6 +215,9 @@ type Machine struct {
 	Engine *dma.Engine
 	Kernel *kernel.Kernel
 	Runner *proc.Runner
+	// IOMMU is the machine's I/O MMU; nil unless the configuration has a
+	// VA window (EnableVirtualDMA).
+	IOMMU *iommu.IOMMU
 	// NodeID is the machine's cluster node id (0 for a standalone
 	// machine; set by net.NewCluster).
 	NodeID int
@@ -261,6 +295,7 @@ func assemble(cfg Config, clock *sim.Clock, events, cpuEvents *sim.EventQueue, h
 		{e.AtomicBase, e.AtomicWindowSize()},
 		{e.RingBase, e.RingWindowSize()},
 		{e.RemoteBase, e.RemoteWindowSize()},
+		{e.VABase, e.VAWindowSize()},
 	}
 	for _, w := range windows {
 		if w.size == 0 {
@@ -281,6 +316,22 @@ func assemble(cfg Config, clock *sim.Clock, events, cpuEvents *sim.EventQueue, h
 		Cfg: cfg, Clock: clock, Events: events, Mem: mem, Bus: b,
 		WB: wb, CPU: c, Engine: engine, Kernel: k, Runner: runner,
 		hosted: hosted,
+	}
+	if cfg.Engine.VABase != 0 {
+		io, err := iommu.New(iommu.Config{
+			Contexts:   engine.NumContexts(),
+			PageSize:   cfg.Engine.PageSize,
+			TLBEntries: cfg.IOTLBEntries,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("machine: %w", err)
+		}
+		if err := engine.AttachIOMMU(io); err != nil {
+			return nil, fmt.Errorf("machine: %w", err)
+		}
+		k.SetIOMMU(io)
+		engine.SetFaultResolver(k)
+		m.IOMMU = io
 	}
 	m.registerMetrics()
 	return m, nil

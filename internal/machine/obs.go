@@ -54,6 +54,14 @@ func (m *Machine) registerMetrics() {
 	m.Runner.RegisterMetrics(r)
 	m.Kernel.RegisterMetrics(r)
 
+	// Virtual-address DMA plane — only on IOMMU-equipped machines, so
+	// every other machine's registry dump stays byte-identical.
+	if m.IOMMU != nil {
+		m.IOMMU.RegisterMetrics(r)
+		m.Engine.RegisterVAMetrics(r)
+		m.Kernel.RegisterPagerMetrics(r)
+	}
+
 	m.Obs = r
 }
 

@@ -21,6 +21,7 @@ import (
 	"uldma/internal/bus"
 	"uldma/internal/cpu"
 	"uldma/internal/dma"
+	"uldma/internal/iommu"
 	"uldma/internal/kernel"
 	"uldma/internal/obs"
 	"uldma/internal/phys"
@@ -44,6 +45,7 @@ type Snapshot struct {
 	engine *dma.EngineSnapshot
 	kern   *kernel.Snapshot
 	runner *proc.RunnerSnapshot
+	iommuS *iommu.Snapshot // nil on machines without an IOMMU
 	trace  *obs.TraceState // nil when tracing was disabled
 	origin *Machine
 }
@@ -88,6 +90,9 @@ func (m *Machine) Snapshot() (*Snapshot, error) {
 		kern:   kern,
 		runner: runner,
 		origin: m,
+	}
+	if m.IOMMU != nil {
+		s.iommuS = m.IOMMU.Snapshot()
 	}
 	if m.Tracer != nil {
 		s.trace = m.Tracer.State()
@@ -191,6 +196,14 @@ func (m *Machine) restoreSubstrates(s *Snapshot) error {
 	if err := m.Engine.Restore(s.engine); err != nil {
 		return err
 	}
+	if s.iommuS != nil {
+		if m.IOMMU == nil {
+			return fmt.Errorf("machine: restore: snapshot has IOMMU state but machine has no IOMMU")
+		}
+		if err := m.IOMMU.Restore(s.iommuS); err != nil {
+			return err
+		}
+	}
 	if s.trace != nil && m.Tracer != nil {
 		if err := m.Tracer.RestoreState(s.trace); err != nil {
 			return err
@@ -278,6 +291,9 @@ func (m *Machine) SnapshotHosted() (*Snapshot, error) {
 		kern:   kern,
 		runner: runner,
 		origin: m,
+	}
+	if m.IOMMU != nil {
+		s.iommuS = m.IOMMU.Snapshot()
 	}
 	if m.Tracer != nil {
 		s.trace = m.Tracer.State()

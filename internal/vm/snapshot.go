@@ -101,3 +101,23 @@ func (t *TLB) StateHash() uint64 {
 // Tick returns the TLB's LRU clock, for the convergence fingerprint
 // (its per-iteration delta is constant in steady state).
 func (t *TLB) Tick() uint64 { return t.tick }
+
+// StateHash returns an order-insensitive hash of the address space's
+// page table — (vpn, frame, prot) per mapping plus the generation
+// counter. Map iteration order must not leak into the value, so each
+// mapping is finalized independently and commutatively folded, the
+// same scheme TLB.StateHash uses. The IOMMU (internal/iommu) hashes
+// its per-context device page tables with this for the machine
+// fingerprint.
+func (as *AddressSpace) StateHash() uint64 {
+	h := as.gen * 0x94d049bb133111eb
+	for vpn, pte := range as.pages {
+		x := uint64(as.asid)*0x9e3779b97f4a7c15 ^ vpn*0xbf58476d1ce4e5b9 ^
+			uint64(pte.Frame)*0xd6e8feb86659fd93 ^ uint64(pte.Prot)<<56
+		x ^= x >> 29
+		x *= 0xff51afd7ed558ccd
+		x ^= x >> 32
+		h += x // commutative fold: map order must not matter
+	}
+	return h
+}
