@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench ci baseline baseline-fault baseline-scale baseline-ring baseline-iommu shardparity ringparity iommuparity golden trace-golden statslint benchdiff profile
+.PHONY: all build vet test race bench ci baseline baseline-fault baseline-scale baseline-ring baseline-iommu baseline-steer shardparity ringparity iommuparity steerparity golden trace-golden statslint benchdiff profile
 
 all: ci
 
@@ -73,7 +73,17 @@ ringparity:
 iommuparity:
 	$(GO) test -race -run 'TestVAMidFaultSnapshotFidelity|TestVAParkedSnapshotRestore|TestVATranslateZeroAllocs|TestVATable1Ordering|TestPagingBenchPoliciesDiverge|TestVASweepParity|TestPagingParity' ./internal/core ./internal/dma ./internal/exp
 
-ci: build vet statslint shardparity ringparity iommuparity race benchdiff
+# The steered loop's contracts, run under the race detector: the live
+# obs feed costs 0 simulated time and 0 allocations (byte-identical
+# PagingResult and world fingerprint with an observer attached), the
+# trace ring serves a streaming reader a consistent prefix across
+# wraparound, and the steered searches land on the exhaustive grids'
+# exact answers while probing strictly fewer cells — byte-identically
+# at every worker count.
+steerparity:
+	$(GO) test -race -run 'TestSteerBreakEvenMatchesExhaustive|TestSteerWorkerParity|TestSteerPagingDominated|TestSteerZoomDeterministic|TestSteerOSLatConverges|TestSteerDecisionTrace|TestLiveFeedZeroDelta|TestLiveFeedVeto|TestLiveWatchZeroAllocs|TestTraceReader|TestSnapshotAt|TestWatchZeroAllocs|TestReaderFromNowSkipsHistory' ./internal/exp ./internal/core ./internal/obs
+
+ci: build vet statslint shardparity ringparity iommuparity steerparity race benchdiff
 
 # Regenerate the perf-trajectory snapshot (raw simulated picoseconds;
 # byte-identical for any -procs value).
@@ -115,6 +125,15 @@ baseline-ring:
 # as added, never as failures.
 baseline-iommu:
 	$(GO) run ./cmd/dmabench -json -va -paging > BENCH_iommu.json
+
+# Regenerate the steered-sweep snapshot: per search, the probed-vs-grid
+# cell counts, decision tallies and the verdicts (crossover sizes,
+# surviving recovery policy, p99 knee bracket, converged iteration
+# count). The probed counts are part of the contract: a steered search
+# probing as many cells as its grid is a regression benchdiff will
+# show.
+baseline-steer:
+	$(GO) run ./cmd/dmabench -json -steer > BENCH_steer.json
 
 # Compare the current model's simulated-time numbers against the
 # committed baseline snapshot. Every value is exact simulated time, so

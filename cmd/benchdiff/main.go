@@ -2,7 +2,7 @@
 // JSON documents cmd/dmabench and cmd/report emit with -json, raw
 // simulated picoseconds) and reports every numeric leaf that changed.
 //
-//	benchdiff [-tol 0.5] [-fatal] baseline.json current.json
+//	benchdiff [-tol 0.5] [-fatal] [-fatal-threshold PCT] baseline.json current.json
 //	benchdiff [-iters N] [-procs W] [-fatal]   # regenerate vs BENCH_baseline.json
 //
 // With one or zero file arguments the current document is regenerated
@@ -16,7 +16,10 @@
 // model's behaviour changed — there is no host noise to tolerate. The
 // default exit status is 0 regardless (make ci runs benchdiff as a
 // non-fatal report; an intentional model change is committed via `make
-// baseline`); -fatal makes deltas beyond -tol percent fail the run.
+// baseline`); -fatal makes deltas beyond -tol percent fail the run
+// (exit 2), and -fatal-threshold PCT gives CI an opt-in regression
+// gate: exit 1 when any MODEL leaf moves by at least PCT percent,
+// independent of what -tol prints.
 // Leaves present on only one side — a new experiment in the current
 // document, or a section retired from it — are listed as added/removed
 // and are never fatal: growing or pruning the benchmark surface is a
@@ -28,6 +31,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -38,14 +42,26 @@ import (
 	"uldma/internal/obs"
 )
 
+// errRegression marks a -fatal-threshold failure: the diff itself ran
+// fine, but model leaves moved beyond the configured ceiling. main
+// maps it to exit status 1 (a CI-regression verdict) rather than the
+// exit-2 usage/IO failures.
+var errRegression = errors.New("regression threshold exceeded")
+
 func main() {
 	iters := flag.Int("iters", 1000, "initiations per measurement when regenerating")
 	procs := flag.Int("procs", 0, "worker goroutines when regenerating (0 = GOMAXPROCS)")
 	tol := flag.Float64("tol", 0, "percent delta beyond which a leaf is flagged")
 	fatal := flag.Bool("fatal", false, "exit 1 when any leaf is flagged")
+	fatalThreshold := flag.Float64("fatal-threshold", -1,
+		"exit 1 when any model leaf moves by at least this percent (Host* leaves stay exempt; negative = off)")
 	flag.Parse()
 
-	if err := run(flag.Args(), *iters, *procs, *tol, *fatal); err != nil {
+	if err := run(flag.Args(), *iters, *procs, *tol, *fatal, *fatalThreshold); err != nil {
+		if errors.Is(err, errRegression) {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(1)
+		}
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
@@ -55,7 +71,7 @@ func main() {
 	}
 }
 
-func run(args []string, iters, procs int, tol float64, fatal bool) error {
+func run(args []string, iters, procs int, tol float64, fatal bool, fatalThreshold float64) error {
 	basePath := "BENCH_baseline.json"
 	var base, cur map[string]any
 	switch len(args) {
@@ -99,7 +115,7 @@ func run(args []string, iters, procs int, tol float64, fatal bool) error {
 	}
 	sort.Strings(ordered)
 
-	flagged, same, added, removed, host := 0, 0, 0, 0, 0
+	flagged, same, added, removed, host, regressed := 0, 0, 0, 0, 0, 0
 	for _, p := range ordered {
 		b, inB := bleaves[p]
 		c, inC := cleaves[p]
@@ -137,6 +153,12 @@ func run(args []string, iters, procs int, tol float64, fatal bool) error {
 			} else {
 				same++
 			}
+			// The CI regression gate is independent of -tol's print
+			// filter: a leaf can regress past the ceiling even when
+			// -tol keeps it out of the listing.
+			if fatalThreshold >= 0 && math.Abs(pct) >= fatalThreshold {
+				regressed++
+			}
 		default:
 			same++
 		}
@@ -145,6 +167,9 @@ func run(args []string, iters, procs int, tol float64, fatal bool) error {
 		basePath, len(ordered), flagged, same, added, removed, host)
 	if flagged > 0 && fatal {
 		return fmt.Errorf("%d leaves differ", flagged)
+	}
+	if regressed > 0 {
+		return fmt.Errorf("%w: %d model leaves moved by >= %.2f%%", errRegression, regressed, fatalThreshold)
 	}
 	return nil
 }

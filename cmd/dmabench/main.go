@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	dmabench [-iters N] [-sweep] [-contention] [-comparators] [-ring] [-ringchurn] [-va [-tlb E]] [-paging] [-procs W] [-json]
+//	dmabench [-iters N] [-sweep] [-contention] [-comparators] [-ring] [-ringchurn] [-va [-tlb E]] [-paging] [-steer] [-procs W] [-json]
 //
 // The default -iters 1000 matches the paper's measurement loop. Every
 // section is one experiment from the internal/exp registry (-list
@@ -41,6 +41,7 @@ func main() {
 	ringchurn := flag.Bool("ringchurn", false, "also run the register-context churn study (ring processes vs contexts)")
 	va := flag.Bool("va", false, "also run the virtual-address sweep (Table 1 through the IOMMU + IOTLB hit rate)")
 	paging := flag.Bool("paging", false, "also run the device-paging study (recovery policies under oversubscription)")
+	steer := flag.Bool("steer", false, "also run the steered sweeps (adaptive search replacing the exhaustive grids)")
 	tlb := flag.Int("tlb", 0, "with -va: IOTLB entries for the hit-rate sweep (0 = 8)")
 	traceFlag := flag.Bool("trace", false, "show the bus transactions of one initiation per method")
 	trend := flag.Bool("trend", false, "also run the hardware-generation trend sweep (X7)")
@@ -69,8 +70,14 @@ func main() {
 		exp.Exit(2)
 	}
 
+	// With -steer the traced scenario becomes the search itself: the
+	// decision track (probe/split/abort/accept) on a Perfetto timeline.
+	if *steer && exp.TraceRequested() {
+		exp.SetTraceScenario(exp.SteerTraceScenario)
+	}
+
 	if *jsonOut {
-		if err := runJSON(*iters, *procs, *sweep, *comparators, *breakeven, *trend, *contention, *ring, *ringchurn, *va, *paging, *tlb, *metrics); err != nil {
+		if err := runJSON(*iters, *procs, *sweep, *comparators, *breakeven, *trend, *contention, *ring, *ringchurn, *va, *paging, *steer, *tlb, *metrics); err != nil {
 			fmt.Fprintln(os.Stderr, "dmabench:", err)
 			exp.Exit(1)
 		}
@@ -94,7 +101,7 @@ func main() {
 			exp.Exit(1)
 		}
 	}
-	if err := run(*iters, *procs, *sweep, *contention, *comparators, *breakeven, *ring, *ringchurn, *va, *paging, *tlb); err != nil {
+	if err := run(*iters, *procs, *sweep, *contention, *comparators, *breakeven, *ring, *ringchurn, *va, *paging, *steer, *tlb); err != nil {
 		fmt.Fprintln(os.Stderr, "dmabench:", err)
 		exp.Exit(1)
 	}
@@ -147,6 +154,10 @@ type benchJSON struct {
 	VASweep     []exp.VARow                    `json:",omitempty"`
 	IOTLB       []exp.IOTLBRow                 `json:",omitempty"`
 	Paging      []exp.PagingRow                `json:",omitempty"`
+	// Steer (-steer) is the steered-sweep scoreboard: per search, the
+	// probed-vs-grid cell counts and the verdict the adaptive policy
+	// landed on (see BENCH_steer.json / `make baseline-steer`).
+	Steer []exp.SteerRow `json:",omitempty"`
 	// Metrics (-metrics) is the per-method observability registry
 	// snapshot after a fixed initiation burst: exact event counts, so
 	// benchdiff flags any behavioural change even when timings agree.
@@ -154,7 +165,7 @@ type benchJSON struct {
 }
 
 // runJSON gathers every requested section and emits one JSON document.
-func runJSON(iters, procs int, sweep, comparators, breakeven, trend, contention, ring, ringchurn, va, paging bool, tlb int, metrics bool) error {
+func runJSON(iters, procs int, sweep, comparators, breakeven, trend, contention, ring, ringchurn, va, paging, steer bool, tlb int, metrics bool) error {
 	doc := benchJSON{Machine: exp.MachineName(), Iters: iters}
 
 	t1, err := exp.Table1(iters, procs)
@@ -226,6 +237,13 @@ func runJSON(iters, procs int, sweep, comparators, breakeven, trend, contention,
 		}
 		doc.Paging = exp.PagingRows(r)
 	}
+	if steer {
+		s, err := exp.RunSteerSuite(exp.Params{Iters: iters, Procs: procs}, nil)
+		if err != nil {
+			return err
+		}
+		doc.Steer = s.SteerRows()
+	}
 	if metrics {
 		mv, err := exp.MetricsSnapshot(iters)
 		if err != nil {
@@ -287,7 +305,7 @@ func runTrace() error {
 	return nil
 }
 
-func run(iters, procs int, sweep, contention, comparators, breakeven, ring, ringchurn, va, paging bool, tlb int) error {
+func run(iters, procs int, sweep, contention, comparators, breakeven, ring, ringchurn, va, paging, steer bool, tlb int) error {
 	infos, err := userdma.Overview()
 	if err != nil {
 		return err
@@ -358,6 +376,15 @@ func run(iters, procs int, sweep, contention, comparators, breakeven, ring, ring
 		if err := section("paging", iters, procs); err != nil {
 			return err
 		}
+	}
+
+	if steer {
+		s, err := exp.RunSteerSuite(exp.Params{Iters: iters, Procs: procs}, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Print(exp.SteerSuiteText(s))
 	}
 	return nil
 }

@@ -21,6 +21,7 @@ import (
 
 func main() {
 	iters := flag.Int("iters", 10_000, "iterations per microbenchmark")
+	steer := flag.Bool("steer", false, "converge the iteration count on a steered ladder instead of paying -iters up front")
 	procs := flag.Int("procs", 0, "worker goroutines for independent benchmark worlds (0 = GOMAXPROCS)")
 	jsonOut := flag.Bool("json", false, "emit results as one JSON document (raw simulated picoseconds)")
 	list := flag.Bool("list", false, "list the registered experiments and exit")
@@ -35,7 +36,12 @@ func main() {
 		fmt.Print(exp.List())
 		return
 	}
-	if err := run(*iters, *procs, *jsonOut); err != nil {
+	if *steer {
+		if err := runSteered(*procs); err != nil {
+			fmt.Fprintln(os.Stderr, "oslat:", err)
+			exp.Exit(1)
+		}
+	} else if err := run(*iters, *procs, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "oslat:", err)
 		exp.Exit(1)
 	}
@@ -50,6 +56,23 @@ type oslatJSON struct {
 	Machine string
 	Iters   int
 	Rows    []exp.OSLatRow
+}
+
+// runSteered climbs the convergence ladder instead of running the full
+// microbenchmark grid: rungs of increasing iteration counts, stopped
+// at the first whose null-syscall mean is stable, then the standard
+// table at the converged count. The decision trace shows the climb.
+func runSteered(procs int) error {
+	res, pol, err := exp.SteeredOSLat(exp.Params{Procs: procs}, nil)
+	if err != nil {
+		return err
+	}
+	iters, _ := pol.Converged()
+	fmt.Printf("Steered oslat — converged at %d iterations (probed %d of %d rungs):\n",
+		iters, res.Probed(), res.GridCells)
+	fmt.Print(res.Log.Render())
+	fmt.Println()
+	return run(iters, procs, false)
 }
 
 func run(iters, procs int, jsonOut bool) error {

@@ -33,7 +33,7 @@ func buildTools(t *testing.T) string {
 		if buildErr != nil {
 			return
 		}
-		for _, tool := range []string{"dmabench", "report", "oslat", "clustersim", "attacksim", "faultsim"} {
+		for _, tool := range []string{"dmabench", "report", "oslat", "clustersim", "attacksim", "faultsim", "benchdiff"} {
 			cmd := exec.Command("go", "build", "-o", filepath.Join(buildDir, tool), "./cmd/"+tool)
 			if out, err := cmd.CombinedOutput(); err != nil {
 				buildErr = err
@@ -103,6 +103,14 @@ var goldenCases = []struct {
 	{"dmabench_va.txt", "dmabench", []string{"-iters", "60", "-va", "-paging"}},
 	{"dmabench_va.json", "dmabench", []string{"-iters", "60", "-json", "-va", "-paging"}},
 	{"report_va.md", "report", []string{"-iters", "60", "-seeds", "2", "-va"}},
+	// The steered sweeps: adaptive policies replacing the exhaustive
+	// grids, text + JSON + markdown, plus the -only registry subset.
+	// All opt-in, so the earlier goldens stay byte-identical.
+	{"dmabench_steer.txt", "dmabench", []string{"-iters", "60", "-steer"}},
+	{"dmabench_steer.json", "dmabench", []string{"-iters", "60", "-json", "-steer"}},
+	{"report_steer.md", "report", []string{"-iters", "60", "-seeds", "2", "-steer"}},
+	{"report_only.md", "report", []string{"-iters", "60", "-only", "table1,breakeven,oslat"}},
+	{"oslat_steer.txt", "oslat", []string{"-steer"}},
 	{"report.md", "report", []string{"-iters", "100", "-seeds", "8"}},
 	{"report.json", "report", []string{"-iters", "100", "-json"}},
 	{"oslat.txt", "oslat", []string{"-iters", "1000"}},
@@ -170,12 +178,17 @@ func TestSmoke(t *testing.T) {
 		{"dmabench-va", "dmabench", []string{"-iters", "5", "-va", "-tlb", "4"}, "IOTLB hit rate"},
 		{"dmabench-paging", "dmabench", []string{"-iters", "5", "-paging"}, "Device paging"},
 		{"dmabench-va-json", "dmabench", []string{"-iters", "5", "-json", "-va", "-paging", "-procs", "2"}, "\"Paging\""},
+		{"dmabench-steer", "dmabench", []string{"-iters", "30", "-steer", "-procs", "2"}, "Steered sweeps"},
+		{"dmabench-steer-json", "dmabench", []string{"-iters", "30", "-json", "-steer", "-procs", "2"}, "\"Steer\""},
 		{"dmabench-list-va", "dmabench", []string{"-list"}, "vasweep"},
 		{"report", "report", []string{"-iters", "10", "-seeds", "2"}, "## F5/F6/F8"},
 		{"report-va", "report", []string{"-iters", "10", "-seeds", "2", "-va"}, "Device paging"},
 		{"report-list", "report", []string{"-list"}, "breakeven"},
 		{"report-json", "report", []string{"-iters", "10", "-json"}, "\"BusSweep\""},
 		{"oslat", "oslat", []string{"-iters", "200"}, "WITHIN BAND"},
+		{"oslat-steer", "oslat", []string{"-steer", "-procs", "2"}, "converged at"},
+		{"report-only", "report", []string{"-iters", "10", "-only", "oslat"}, "null syscall"},
+		{"report-steer", "report", []string{"-iters", "10", "-seeds", "2", "-steer"}, "Online steering"},
 		{"oslat-json", "oslat", []string{"-iters", "200", "-json", "-procs", "2"}, "\"CPUCycles\""},
 		{"oslat-list", "oslat", []string{"-list"}, "oslat"},
 		{"clustersim", "clustersim", []string{"-msgs", "4"}, "init share"},
@@ -228,6 +241,36 @@ func TestVAFlagRejection(t *testing.T) {
 			}
 			if !bytes.Contains([]byte(stderr), []byte(tc.want)) {
 				t.Fatalf("dmabench %v stderr lacks %q:\n%s", tc.args, tc.want, stderr)
+			}
+		})
+	}
+}
+
+// TestReportOnlyRejection pins report's -only validation: an unknown
+// experiment name must die with exit status 2 and the list of valid
+// names BEFORE any experiment runs, matching the -va and -scale
+// flag-validation precedents.
+func TestReportOnlyRejection(t *testing.T) {
+	dir := buildTools(t)
+	cases := []struct {
+		name string
+		args []string
+		want string // substring the stderr diagnostic must contain
+	}{
+		{"unknown-name", []string{"-only", "nosuch"}, `unknown experiment "nosuch"`},
+		{"unknown-among-valid", []string{"-only", "table1,bogus"}, `unknown experiment "bogus"`},
+		{"lists-valid-names", []string{"-only", "nope"}, "valid: breakeven"},
+		{"empty-list", []string{"-only", ","}, "no experiment names"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			code, stderr := runToolErr(t, dir, "report", tc.args...)
+			if code != 2 {
+				t.Fatalf("report %v exited %d, want 2\n%s", tc.args, code, stderr)
+			}
+			if !bytes.Contains([]byte(stderr), []byte(tc.want)) {
+				t.Fatalf("report %v stderr lacks %q:\n%s", tc.args, tc.want, stderr)
 			}
 		})
 	}

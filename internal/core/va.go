@@ -269,6 +269,12 @@ type PagingResult struct {
 	PageIns     uint64
 	Elapsed     sim.Time
 	Fingerprint uint64
+	// Completed counts transfers actually issued: Transfers unless a
+	// live observer (PagingBenchLive) cut the stream short.
+	Completed int
+	// LiveSamples counts the mid-run live-feed readings an observer
+	// took (0 on the plain PagingBench path).
+	LiveSamples int
 }
 
 // pagingPageIn is the modeled backing-store page-in latency. It dwarfs
@@ -284,85 +290,5 @@ const pagingPageIn = 100 * sim.Microsecond
 // next once the budget is oversubscribed, so every lap faults — the
 // worst case the three policies are measured on.
 func PagingBench(policy dma.RecoveryPolicy, pages, budget, transfers int) (PagingResult, error) {
-	method := ExtShadow{}
-	cfg := VAConfigFor(method, 0)
-	m, err := machine.New(cfg)
-	if err != nil {
-		return PagingResult{}, err
-	}
-	m.Engine.SetRecoveryPolicy(policy)
-	if err := m.Kernel.EnablePager(budget, pagingPageIn); err != nil {
-		return PagingResult{}, err
-	}
-	res := PagingResult{
-		Policy:    policy.String(),
-		Pages:     pages,
-		Budget:    budget,
-		Oversub:   float64(pages+1) / float64(budget),
-		Transfers: transfers,
-	}
-
-	ps := vm.VAddr(cfg.PageSize)
-	const srcBase, dstBase = vm.VAddr(0x100000), vm.VAddr(0x80000)
-	var h *Handle
-	var sample stats.Sample
-	var elapsed sim.Time
-	p := m.NewProcess("paging", func(c *proc.Context) error {
-		t0 := m.Clock.Now()
-		for i := 0; i < transfers; i++ {
-			src := srcBase + vm.VAddr(i%pages)*ps
-			start := m.Clock.Now()
-			st, err := h.DMA(c, src, dstBase, uint64(cfg.PageSize))
-			if err != nil {
-				return err
-			}
-			if st == dma.StatusFailure {
-				return fmt.Errorf("userdma: transfer %d refused", i)
-			}
-			if err := h.Wait(c, 1<<20); err != nil {
-				return err
-			}
-			sample.Add(m.Clock.Now() - start)
-		}
-		elapsed = m.Clock.Now() - t0
-		return nil
-	})
-	h, err = method.Attach(m, p)
-	if err != nil {
-		return res, err
-	}
-	// Setup registers every device page with the pager; the ones past
-	// the budget are registered non-resident and page in on first use.
-	if _, err := SetupVAPages(m, p, h.Context(), srcBase, pages, vm.Read|vm.Write); err != nil {
-		return res, err
-	}
-	if _, err := SetupVAPages(m, p, h.Context(), dstBase, 1, vm.Read|vm.Write); err != nil {
-		return res, err
-	}
-	if err := m.Run(proc.NewRoundRobin(1<<20), 1<<32); err != nil {
-		return res, err
-	}
-	if p.Err() != nil {
-		return res, p.Err()
-	}
-	m.Settle()
-
-	moved := float64(transfers) * float64(cfg.PageSize)
-	if elapsed > 0 {
-		res.GoodputMBps = moved * float64(sim.Second) / float64(elapsed) / 1e6
-	}
-	res.P50, res.P99 = sample.Percentile(50), sample.Percentile(99)
-	get := func(name string) uint64 {
-		v, _ := m.Obs.Get(name)
-		return v
-	}
-	res.Faults = get("dma.va_faults")
-	res.Stalls = get("dma.va_stalls")
-	res.Bounced = get("dma.va_bounced")
-	res.Pins = get("dma.va_pins")
-	res.Evictions = get("kernel.pager_evictions")
-	res.PageIns = get("kernel.pager_page_ins")
-	res.Elapsed = elapsed
-	res.Fingerprint = fingerprintDigest(m.Fingerprint())
-	return res, nil
+	return PagingBenchLive(policy, pages, budget, transfers, nil)
 }

@@ -1,0 +1,184 @@
+package exp
+
+// The steered experiment driver: an adaptive loop alongside the
+// exhaustive grid runner.
+//
+// Run expands a FIXED grid and executes every cell; RunSteered asks a
+// policy to PROPOSE cells round by round, so a search can bisect a
+// monotone frontier, zoom where a watched metric inflects, or abort
+// cells that live data already shows dominated — probing strictly
+// fewer cells than the grid it replaces while landing on the same
+// answer (the steerparity CI target pins both halves of that claim).
+//
+// The determinism contract is the same one Run has, lifted to rounds:
+//
+//   - The policy is called BETWEEN rounds only, and only ever sees the
+//     merged, batch-ordered history of completed probes — never
+//     wall-clock completion order. Batches run on the internal/par
+//     pool, but their results merge by batch index, so the policy's
+//     inputs (and therefore its proposals) are identical at any
+//     -procs value.
+//   - Cells carry their seeds; the same (policy, Params) always
+//     replays the same probe sequence byte for byte.
+//   - Errors surface in batch order: the lowest-indexed failing cell
+//     of the failing round wins, exactly as a serial loop would
+//     report.
+//
+// Every choice the policy makes is recorded in a DecisionLog — which
+// cells were probed, split, aborted, accepted, and why — and mirrored
+// onto an obs trace spine (CatSteer) when one is attached, so Perfetto
+// export shows the search itself next to the worlds it probed.
+
+import (
+	"fmt"
+	"strings"
+
+	"uldma/internal/obs"
+	"uldma/internal/par"
+	"uldma/internal/sim"
+)
+
+// Action classifies one steering decision.
+type Action string
+
+const (
+	// ActProbe schedules a cell for measurement.
+	ActProbe Action = "probe"
+	// ActSplit inserts a new cell between measured ones (grid zoom).
+	ActSplit Action = "split"
+	// ActAbort drops cells the policy will not measure (dominated).
+	ActAbort Action = "abort"
+	// ActAccept records a search's verdict.
+	ActAccept Action = "accept"
+)
+
+// Decision is one entry of the steering trace: what the policy did to
+// which cell, in which round, and why.
+type Decision struct {
+	Round int
+	Act   Action
+	Cell  string // the affected cell's grid label
+	Why   string
+}
+
+// DecisionLog accumulates a steered run's decisions in the order they
+// were made. When a trace spine is attached, every decision is also
+// emitted as a CatSteer instant on a synthetic timeline (one
+// microsecond per decision — the decisions happen between simulated
+// worlds, so they carry their own clock), which is what Perfetto
+// export renders as the search track.
+type DecisionLog struct {
+	decisions []Decision
+	trace     *obs.Trace
+	at        sim.Time
+}
+
+// NewDecisionLog creates a log, mirroring to tr when non-nil.
+func NewDecisionLog(tr *obs.Trace) *DecisionLog {
+	return &DecisionLog{trace: tr}
+}
+
+// Add records one decision. This is a cold path (a handful of entries
+// per search), so the mirrored event's name may be formatted.
+func (l *DecisionLog) Add(round int, act Action, cell, why string) {
+	l.decisions = append(l.decisions, Decision{Round: round, Act: act, Cell: cell, Why: why})
+	if l.trace != nil {
+		l.at += sim.Microsecond
+		l.trace.Instant(l.at, obs.CatSteer, string(act)+" "+cell, 0, -1,
+			uint64(round), uint64(len(l.decisions)), 0)
+	}
+}
+
+// Decisions returns the recorded decisions in order.
+func (l *DecisionLog) Decisions() []Decision { return l.decisions }
+
+// count tallies the decisions matching act.
+func (l *DecisionLog) count(act Action) int {
+	n := 0
+	for _, d := range l.decisions {
+		if d.Act == act {
+			n++
+		}
+	}
+	return n
+}
+
+// Render formats the log as the indented decision listing the tools
+// print under a steered section.
+func (l *DecisionLog) Render() string {
+	var b strings.Builder
+	for _, d := range l.decisions {
+		fmt.Fprintf(&b, "  r%-2d %-6s %-34s %s\n", d.Round, d.Act, d.Cell, d.Why)
+	}
+	return b.String()
+}
+
+// SteerPolicy drives one steered search. Next proposes the cells for
+// round r, given the merged batch-ordered history of every completed
+// probe so far; an empty batch ends the search. Policies are stateful
+// and single-use: one instance drives one RunSteered call.
+type SteerPolicy interface {
+	Next(r int, history []CellResult, log *DecisionLog) ([]Cell, error)
+}
+
+// Steered is a declarative steered search: a name, the size of the
+// exhaustive grid the search replaces (what "strictly fewer cells" is
+// measured against), and the adaptive policy.
+type Steered struct {
+	Name      string
+	GridCells int
+	Policy    SteerPolicy
+}
+
+// SteerResult is a steered run's outcome: every probe in batch order,
+// round count, and the full decision log.
+type SteerResult struct {
+	Name      string
+	GridCells int
+	Probes    []CellResult // all completed probes, round- then batch-ordered
+	Rounds    int
+	Log       *DecisionLog
+}
+
+// Probed reports how many cells the search measured.
+func (r *SteerResult) Probed() int { return len(r.Probes) }
+
+// RunSteered executes the steered search under p, mirroring decisions
+// onto tr when non-nil. Each proposed batch fans out on p.Procs
+// workers; results merge by batch index before the policy sees them,
+// which is what keeps steered output byte-identical at any worker
+// count (TestSteerWorkerParity).
+func RunSteered(s *Steered, p Params, tr *obs.Trace) (*SteerResult, error) {
+	log := NewDecisionLog(tr)
+	res := &SteerResult{Name: s.Name, GridCells: s.GridCells, Log: log}
+	type slot struct {
+		obs  Obs
+		stop bool
+		err  error
+	}
+	for round := 0; ; round++ {
+		batch, err := s.Policy.Next(round, res.Probes, log)
+		if err != nil {
+			return nil, fmt.Errorf("%s round %d: %w", s.Name, round, err)
+		}
+		if len(batch) == 0 {
+			res.Rounds = round
+			return res, nil
+		}
+		slots := make([]slot, len(batch))
+		_ = par.Do(len(batch), p.Procs, func(i int) error {
+			obs, stop, err := batch[i].Run()
+			slots[i] = slot{obs: obs, stop: stop, err: err}
+			if err != nil || stop {
+				return errCellStop
+			}
+			return nil
+		})
+		for i := range batch {
+			if slots[i].err != nil {
+				return nil, fmt.Errorf("%s round %d cell %d: %w", s.Name, round, i, slots[i].err)
+			}
+			res.Probes = append(res.Probes, CellResult{Cell: batch[i], Obs: slots[i].obs})
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package obs
+
+// Tests for the live streaming views: allocation-free snapshots and
+// watch handles, and the trace reader's wraparound contract — a
+// streaming reader attached to a ring that keeps wrapping must see a
+// consistent subsequence of whole events in emission order, with exact
+// skip accounting, and survive a rewind under its feet. The
+// steerparity make target runs these under -race.
+
+import (
+	"testing"
+
+	"uldma/internal/sim"
+)
+
+func streamRegistry() (*Registry, *Counter, *Gauge) {
+	r := NewRegistry()
+	var c Counter
+	var g Gauge
+	r.RegisterCounter("bus.loads", &c)
+	r.RegisterGauge("dma.highwater", &g)
+	var extra [30]Counter
+	for i := range extra {
+		r.RegisterCounter("pad.c"+string(rune('a'+i)), &extra[i])
+	}
+	return r, &c, &g
+}
+
+func TestSnapshotAtZeroAllocs(t *testing.T) {
+	r, c, g := streamRegistry()
+	var ts TimedSnapshot
+	r.SnapshotAt(0, &ts) // warm: first call may size Values
+	allocs := testing.AllocsPerRun(200, func() {
+		c.Inc()
+		g.Add(3)
+		r.SnapshotAt(42*sim.Microsecond, &ts)
+	})
+	if allocs != 0 {
+		t.Fatalf("SnapshotAt allocated %.1f times per call, want 0", allocs)
+	}
+	if ts.At != 42*sim.Microsecond {
+		t.Fatalf("snapshot stamped %v, want 42µs", ts.At)
+	}
+	if v, ok := ts.Get("bus.loads"); !ok || v == 0 {
+		t.Fatalf("snapshot bus.loads = %d,%v", v, ok)
+	}
+	if len(ts.Values) != r.Len() {
+		t.Fatalf("snapshot has %d values, registry has %d", len(ts.Values), r.Len())
+	}
+}
+
+func TestSnapshotAtMatchesSnapshot(t *testing.T) {
+	r, c, g := streamRegistry()
+	c.Add(7)
+	g.Set(11)
+	var ts TimedSnapshot
+	r.SnapshotAt(5, &ts)
+	want := r.Snapshot()
+	if len(ts.Values) != len(want) {
+		t.Fatalf("SnapshotAt has %d values, Snapshot has %d", len(ts.Values), len(want))
+	}
+	for i := range want {
+		if ts.Values[i] != want[i] {
+			t.Fatalf("value %d: SnapshotAt %+v, Snapshot %+v", i, ts.Values[i], want[i])
+		}
+	}
+}
+
+func TestWatchZeroAllocs(t *testing.T) {
+	r, c, _ := streamRegistry()
+	w, ok := r.Watch("bus.loads")
+	if !ok {
+		t.Fatal("Watch(bus.loads) not found")
+	}
+	if _, ok := r.Watch("no.such"); ok {
+		t.Fatal("Watch resolved a metric that was never registered")
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		c.Inc()
+		if w.Value() == 0 {
+			t.Error("watch read zero after Inc")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Watch.Value allocated %.1f times per call, want 0", allocs)
+	}
+	if w.Name() != "bus.loads" {
+		t.Fatalf("watch name %q", w.Name())
+	}
+}
+
+// steerEvent builds the wraparound test's event i: A0 carries the
+// sequence, A1 a derived checksum. A torn read (half old event, half
+// new) would break the A0/A1 relation.
+func steerEvent(i uint64) Event {
+	return Event{
+		At: sim.Time(i) * sim.Microsecond, Cat: CatSteer, Name: "probe",
+		A0: i, A1: i*2654435761 + 1, A2: ^i,
+	}
+}
+
+// TestTraceReaderWraparound drives a small ring far past its capacity
+// with a streaming reader polling mid-stream: every delivered event
+// must be whole (checksum intact), in strictly increasing emission
+// order, contiguous within a poll (a consistent prefix of the unseen
+// retained events), and delivered+skipped must account for every
+// emission exactly once.
+func TestTraceReaderWraparound(t *testing.T) {
+	const cap, total = 64, 1000
+	tr := NewTrace(cap, Ring)
+	rd := tr.NewReaderFrom(0)
+
+	var delivered []Event
+	var skipped uint64
+	buf := make([]Event, 0, cap)
+	poll := func() {
+		buf = buf[:0]
+		var s uint64
+		buf, s = rd.Poll(buf)
+		skipped += s
+		// Contiguity within one poll: each batch is a gap-free run.
+		for i := 1; i < len(buf); i++ {
+			if buf[i].A0 != buf[i-1].A0+1 {
+				t.Fatalf("poll batch tore a gap: %d then %d", buf[i-1].A0, buf[i].A0)
+			}
+		}
+		delivered = append(delivered, buf...)
+	}
+
+	// Phase 1: the reader keeps up (polls more often than the ring
+	// wraps). Phase 2: a 500-event burst lands with no poll at all, so
+	// the ring laps the cursor and the final drain must skip exactly
+	// the overwritten span.
+	for i := uint64(0); i < total; i++ {
+		tr.Emit(steerEvent(i))
+		if i < total/2 && i%37 == 0 {
+			poll()
+		}
+	}
+	poll() // final drain
+
+	if got := uint64(len(delivered)) + skipped; got != total {
+		t.Fatalf("delivered %d + skipped %d = %d, want %d", len(delivered), skipped, got, total)
+	}
+	if skipped == 0 {
+		t.Fatal("a 64-slot ring under 1000 events must have overwritten something")
+	}
+	if skipped != rd.Skipped() {
+		t.Fatalf("poll-sum skipped %d, reader says %d", skipped, rd.Skipped())
+	}
+	last := int64(-1)
+	for _, e := range delivered {
+		if int64(e.A0) <= last {
+			t.Fatalf("emission order violated: %d after %d", e.A0, last)
+		}
+		last = int64(e.A0)
+		if want := steerEvent(e.A0); e != want {
+			t.Fatalf("torn event at seq %d: got %+v want %+v", e.A0, e, want)
+		}
+	}
+	// The final drain ends at the stream's end: nothing retained is
+	// unseen.
+	if buf, s := rd.Poll(nil); len(buf) != 0 || s != 0 {
+		t.Fatalf("drained reader returned %d events, %d skipped", len(buf), s)
+	}
+}
+
+// TestTraceReaderDropNewest pins the other overflow policy: the
+// retained window is the FIRST cap events, so a reader that keeps up
+// sees exactly those and never a skip.
+func TestTraceReaderDropNewest(t *testing.T) {
+	const cap = 8
+	tr := NewTrace(cap, DropNewest)
+	rd := tr.NewReaderFrom(0)
+	var got []Event
+	for i := uint64(0); i < 20; i++ {
+		tr.Emit(steerEvent(i))
+		var s uint64
+		got, s = rd.Poll(got)
+		if s != 0 {
+			t.Fatalf("DropNewest reader skipped %d at emission %d", s, i)
+		}
+	}
+	if len(got) != cap {
+		t.Fatalf("reader saw %d events, want the first %d", len(got), cap)
+	}
+	for i, e := range got {
+		if e.A0 != uint64(i) {
+			t.Fatalf("event %d has seq %d", i, e.A0)
+		}
+	}
+}
+
+// TestTraceReaderRewind pins the rewind-with-the-world interaction: a
+// reader that consumed past a snapshot point clamps to the rewound
+// stream and picks up the re-run's events without double counting.
+func TestTraceReaderRewind(t *testing.T) {
+	tr := NewTrace(16, Ring)
+	rd := tr.NewReaderFrom(0)
+	for i := uint64(0); i < 5; i++ {
+		tr.Emit(steerEvent(i))
+	}
+	state := tr.State()
+	for i := uint64(5); i < 10; i++ {
+		tr.Emit(steerEvent(i))
+	}
+	if buf, _ := rd.Poll(nil); len(buf) != 10 {
+		t.Fatalf("pre-rewind poll saw %d events, want 10", len(buf))
+	}
+	if err := tr.RestoreState(state); err != nil {
+		t.Fatal(err)
+	}
+	// The reader is ahead of the rewound stream; the next poll clamps.
+	if buf, s := rd.Poll(nil); len(buf) != 0 || s != 0 {
+		t.Fatalf("post-rewind poll delivered %d events, %d skipped", len(buf), s)
+	}
+	tr.Emit(steerEvent(99))
+	buf, _ := rd.Poll(nil)
+	if len(buf) != 1 || buf[0].A0 != 99 {
+		t.Fatalf("replayed emission not delivered: %+v", buf)
+	}
+}
+
+func TestReaderFromNowSkipsHistory(t *testing.T) {
+	tr := NewTrace(16, Ring)
+	for i := uint64(0); i < 4; i++ {
+		tr.Emit(steerEvent(i))
+	}
+	rd := tr.NewReader()
+	if buf, s := rd.Poll(nil); len(buf) != 0 || s != 0 {
+		t.Fatalf("NewReader delivered history: %d events, %d skipped", len(buf), s)
+	}
+	tr.Emit(steerEvent(4))
+	if buf, _ := rd.Poll(nil); len(buf) != 1 || buf[0].A0 != 4 {
+		t.Fatalf("NewReader missed the next emission: %+v", buf)
+	}
+}
